@@ -1,0 +1,137 @@
+package ascoma
+
+import (
+	"strings"
+	"testing"
+
+	"ascoma/internal/stats"
+)
+
+func TestRunQuickstart(t *testing.T) {
+	res, err := Run(Config{Arch: ASCOMA, Workload: "uniform", Pressure: 50, Scale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime <= 0 {
+		t.Error("no execution time")
+	}
+	if res.Workload != "uniform" || res.Pressure != 50 {
+		t.Errorf("metadata: %q %d", res.Workload, res.Pressure)
+	}
+	if res.ArchID != ASCOMA {
+		t.Errorf("ArchID = %v", res.ArchID)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{Arch: ASCOMA, Workload: "bogus", Pressure: 50}); err == nil {
+		t.Error("bogus workload accepted")
+	}
+	if _, err := Run(Config{Arch: ASCOMA, Workload: "uniform", Pressure: 0}); err == nil {
+		t.Error("pressure 0 accepted")
+	}
+	if _, err := Run(Config{Arch: ASCOMA, Workload: "uniform", Pressure: 100}); err == nil {
+		t.Error("pressure 100 accepted")
+	}
+}
+
+func TestRunMaxCycles(t *testing.T) {
+	_, err := Run(Config{Arch: CCNUMA, Workload: "uniform", Pressure: 50, Scale: 16, MaxCycles: 10})
+	if err == nil {
+		t.Error("MaxCycles not enforced")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	res, err := Run(Config{Arch: SCOMA, Workload: "hotcold", Pressure: 30, Scale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report()
+	for _, want := range []string{"S-COMA", "hotcold", "pressure=30%", "U-SH-MEM", "K-OVERHD", "SCOMA=", "execution time"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	names := Workloads()
+	if len(names) < 6 {
+		t.Errorf("only %d workloads", len(names))
+	}
+	for _, app := range []string{"barnes", "em3d", "fft", "lu", "ocean", "radix"} {
+		found := false
+		for _, n := range names {
+			if n == app {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from Workloads()", app)
+		}
+	}
+}
+
+func TestParseArchExported(t *testing.T) {
+	a, err := ParseArch("as-coma")
+	if err != nil || a != ASCOMA {
+		t.Errorf("ParseArch = %v, %v", a, err)
+	}
+}
+
+func TestDefaultParamsUsable(t *testing.T) {
+	p := DefaultParams()
+	res, err := Run(Config{Arch: CCNUMA, Workload: "stream", Pressure: 50, Scale: 16, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime == 0 {
+		t.Error("no progress with explicit params")
+	}
+}
+
+func TestAblationRequiresASCOMA(t *testing.T) {
+	_, err := Run(Config{Arch: RNUMA, Workload: "uniform", Pressure: 50, Scale: 16,
+		Ablation: AblationNoBackoff})
+	if err == nil {
+		t.Error("ablation accepted on a non-AS-COMA architecture")
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	for _, ab := range []Ablation{AblationNoSCOMAAlloc, AblationNoBackoff} {
+		res, err := Run(Config{Arch: ASCOMA, Workload: "uniform", Pressure: 70, Scale: 16, Ablation: ab})
+		if err != nil {
+			t.Fatalf("ablation %d: %v", ab, err)
+		}
+		if res.ExecTime == 0 {
+			t.Errorf("ablation %d made no progress", ab)
+		}
+	}
+}
+
+func TestSamplesThroughPublicAPI(t *testing.T) {
+	res, err := Run(Config{Arch: ASCOMA, Workload: "uniform", Pressure: 80, Scale: 16,
+		SampleInterval: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	if res.Samples[0].Threshold < 1 {
+		t.Error("sample threshold missing")
+	}
+}
+
+func TestMIGNUMAThroughPublicAPI(t *testing.T) {
+	res, err := Run(Config{Arch: MIGNUMA, Workload: "mismatch", Pressure: 50, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	migs := res.Counter(func(n *stats.Node) int64 { return n.Migrations })
+	if migs == 0 {
+		t.Error("MIG-NUMA performed no migrations on mismatch")
+	}
+}

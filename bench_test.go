@@ -1,0 +1,324 @@
+package ascoma
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section 4-5) as a testing.B benchmark:
+//
+//	Table 1  BenchmarkTable1OverheadModel   — remote-overhead model terms
+//	Table 2  BenchmarkTable2StorageCost     — directory/page-cache state upkeep
+//	Table 3  BenchmarkTable3CacheNetwork    — configured latency components
+//	Table 4  BenchmarkTable4MinLatency      — measured hierarchy latencies
+//	Table 5  BenchmarkTable5Workloads       — workload inventory generation
+//	Table 6  BenchmarkTable6RelocatedPages  — remote vs relocated page counts
+//	Fig 2    BenchmarkFig2{Barnes,Em3d,FFT} — arch x pressure grids
+//	Fig 3    BenchmarkFig3{LU,Ocean,Radix}  — arch x pressure grids
+//
+// plus the ablation benchmarks for the two design choices DESIGN.md calls
+// out (S-COMA-preferred allocation; replacement back-off) and micro
+// benchmarks of the simulator itself. Figure benches report the relative
+// execution times as custom metrics ("<arch>@<pressure>_rel"), so the
+// benchmark output contains the same series the paper plots; run
+// cmd/sweep for the full-resolution tables at paper scale.
+
+import (
+	"fmt"
+	"testing"
+
+	"ascoma/internal/addr"
+	"ascoma/internal/cache"
+	"ascoma/internal/directory"
+	"ascoma/internal/params"
+	"ascoma/internal/sim"
+	"ascoma/internal/stats"
+	"ascoma/internal/workload"
+)
+
+// benchScale shrinks problems so the full harness runs in seconds.
+const benchScale = 8
+
+func benchRun(b *testing.B, arch Arch, app string, pressure int) *Result {
+	b.Helper()
+	res, err := Run(Config{Arch: arch, Workload: app, Pressure: pressure, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// figureGrid runs the paper's architecture x pressure grid for one
+// application and reports each cell's execution time relative to CC-NUMA.
+func figureGrid(b *testing.B, app string, pressures []int) {
+	var rel = map[string]float64{}
+	var refs int64
+	for i := 0; i < b.N; i++ {
+		base := benchRun(b, CCNUMA, app, 50)
+		refs = base.Counter(func(n *stats.Node) int64 { return n.SharedRefs + n.PrivateRefs })
+		for _, arch := range []Arch{SCOMA, ASCOMA, VCNUMA, RNUMA} {
+			for _, p := range pressures {
+				r := benchRun(b, arch, app, p)
+				rel[fmt.Sprintf("%v@%d_rel", arch, p)] = float64(r.ExecTime) / float64(base.ExecTime)
+			}
+		}
+	}
+	for k, v := range rel {
+		b.ReportMetric(v, k)
+	}
+	b.ReportMetric(float64(refs), "refs/run")
+}
+
+// --- Figure 2: barnes, em3d, fft --------------------------------------------
+
+func BenchmarkFig2Barnes(b *testing.B) { figureGrid(b, "barnes", []int{10, 50, 70}) }
+func BenchmarkFig2Em3d(b *testing.B)   { figureGrid(b, "em3d", []int{10, 70, 90}) }
+func BenchmarkFig2FFT(b *testing.B)    { figureGrid(b, "fft", []int{10, 70, 90}) }
+
+// --- Figure 3: lu, ocean, radix ---------------------------------------------
+
+func BenchmarkFig3LU(b *testing.B)    { figureGrid(b, "lu", []int{10, 70, 90}) }
+func BenchmarkFig3Ocean(b *testing.B) { figureGrid(b, "ocean", []int{10, 70, 90}) }
+func BenchmarkFig3Radix(b *testing.B) { figureGrid(b, "radix", []int{10, 30, 90}) }
+
+// --- Table 1: the remote-overhead model on live statistics ------------------
+
+func BenchmarkTable1OverheadModel(b *testing.B) {
+	p := DefaultParams()
+	var model float64
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, RNUMA, "radix", 70)
+		m := res.SumMisses()
+		tsum := res.SumTime()
+		npc := m[stats.SComa]
+		nrem := m[stats.Cold] + m[stats.ConfCapc]
+		model = float64(npc*(p.BusCycles+p.LocalMemCycles) + nrem*p.RemoteMemCycles() + tsum[stats.KOverhead])
+	}
+	b.ReportMetric(model, "model_cycles")
+}
+
+// --- Table 2: storage-state upkeep -------------------------------------------
+
+// BenchmarkTable2StorageCost measures the directory-state machinery the
+// table prices out: per-block copyset/refetch bookkeeping on every fetch.
+func BenchmarkTable2StorageCost(b *testing.B) {
+	d := directory.New(8, 0, 32, func(int, addr.Block) {}, func(int, addr.Block, bool) {})
+	page := addr.PageOf(addr.SharedBase)
+	d.ForceHome(page, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := page.BlockAt(i % params.BlocksPerPage)
+		d.Fetch(1+i%7, blk, i%8 == 0, false)
+	}
+}
+
+// --- Table 3: configured characteristics (latency composition) --------------
+
+func BenchmarkTable3CacheNetwork(b *testing.B) {
+	p := DefaultParams()
+	b.ReportMetric(float64(p.L1HitCycles), "L1_cycles")
+	b.ReportMetric(float64(p.RACHitCycles), "RAC_cycles")
+	b.ReportMetric(float64(p.BusCycles+p.LocalMemCycles), "local_cycles")
+	b.ReportMetric(float64(p.RemoteMemCycles()), "remote_cycles")
+	// Exercise the L1 lookup/insert fast path the table's hit latency
+	// prices.
+	l1 := cache.NewL1(p.L1Bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := addr.Line(i & 1023)
+		if !l1.Lookup(l, false) {
+			l1.Insert(l, false)
+		}
+	}
+}
+
+// --- Table 4: measured minimum latencies -------------------------------------
+
+func BenchmarkTable4MinLatency(b *testing.B) {
+	// A two-node machine with one remote read measures the end-to-end
+	// minimum remote latency including every modeled component.
+	var remote float64
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, CCNUMA, "stream", 50)
+		misses := res.RemoteMisses()
+		var stall int64
+		for j := range res.Nodes {
+			stall += res.Nodes[j].Time[stats.UShMem]
+		}
+		if misses > 0 {
+			remote = float64(stall) / float64(misses)
+		}
+	}
+	b.ReportMetric(remote, "stall_per_remote_miss")
+	p := DefaultParams()
+	b.ReportMetric(float64(p.RemoteMemCycles()), "uncontended_min")
+}
+
+// --- Table 5: workload inventory ---------------------------------------------
+
+func BenchmarkTable5Workloads(b *testing.B) {
+	// Generation + placement of all six applications: the cost of
+	// materializing Table 5's inventory.
+	var pages int
+	for i := 0; i < b.N; i++ {
+		pages = 0
+		for _, name := range []string{"barnes", "em3d", "fft", "lu", "ocean", "radix"} {
+			g, err := workload.New(name, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Place(func(addr.Page, int) { pages++ })
+			s := g.Stream(0)
+			for {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(pages), "placed_pages")
+}
+
+// --- Table 6: remote vs relocated pages --------------------------------------
+
+func BenchmarkTable6RelocatedPages(b *testing.B) {
+	var remote, relocated int64
+	for i := 0; i < b.N; i++ {
+		remote, relocated = 0, 0
+		for _, name := range []string{"fft", "radix"} { // the two extremes
+			res := benchRun(b, CCNUMA, name, 10)
+			remote += res.RemotePages
+			relocated += res.RelocatedPages
+		}
+	}
+	b.ReportMetric(float64(remote), "remote_pages")
+	b.ReportMetric(float64(relocated), "relocated_pages")
+}
+
+// --- Ablations: the two AS-COMA improvements in isolation --------------------
+
+// BenchmarkAblationInitialAlloc isolates improvement 1 (Section 5.1): at
+// low memory pressure, S-COMA-preferred allocation versus starting every
+// page in CC-NUMA mode.
+func BenchmarkAblationInitialAlloc(b *testing.B) {
+	var full, ablated float64
+	for i := 0; i < b.N; i++ {
+		base := benchRun(b, CCNUMA, "radix", 50)
+		f := benchRun(b, ASCOMA, "radix", 10)
+		a, err := Run(Config{Arch: ASCOMA, Workload: "radix", Pressure: 10,
+			Scale: benchScale, Ablation: AblationNoSCOMAAlloc})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = float64(f.ExecTime) / float64(base.ExecTime)
+		ablated = float64(a.ExecTime) / float64(base.ExecTime)
+	}
+	b.ReportMetric(full, "full_rel")
+	b.ReportMetric(ablated, "no_alloc_rel")
+}
+
+// BenchmarkAblationBackoff isolates improvement 2 (Section 5.2): at high
+// memory pressure, the adaptive back-off versus R-NUMA-style relocation.
+func BenchmarkAblationBackoff(b *testing.B) {
+	var full, ablated float64
+	for i := 0; i < b.N; i++ {
+		base := benchRun(b, CCNUMA, "radix", 50)
+		f := benchRun(b, ASCOMA, "radix", 90)
+		a, err := Run(Config{Arch: ASCOMA, Workload: "radix", Pressure: 90,
+			Scale: benchScale, Ablation: AblationNoBackoff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full = float64(f.ExecTime) / float64(base.ExecTime)
+		ablated = float64(a.ExecTime) / float64(base.ExecTime)
+	}
+	b.ReportMetric(full, "full_rel")
+	b.ReportMetric(ablated, "no_backoff_rel")
+}
+
+// BenchmarkSensitivityThreshold sweeps the relocation threshold for R-NUMA
+// and AS-COMA: the static policy's performance hinges on the value, the
+// adaptive policy's does not (run cmd/sweep -sensitivity threshold for the
+// full table).
+func BenchmarkSensitivityThreshold(b *testing.B) {
+	metrics := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		base := benchRun(b, CCNUMA, "radix", 70)
+		for _, th := range []int{8, 32, 128} {
+			p := DefaultParams()
+			p.RefetchThreshold = th
+			for _, arch := range []Arch{RNUMA, ASCOMA} {
+				res, err := Run(Config{Arch: arch, Workload: "radix", Pressure: 70,
+					Scale: benchScale, Params: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				metrics[fmt.Sprintf("%v@th%d_rel", arch, th)] =
+					float64(res.ExecTime) / float64(base.ExecTime)
+			}
+		}
+	}
+	for k, v := range metrics {
+		b.ReportMetric(v, k)
+	}
+}
+
+// BenchmarkSensitivityRACSize sweeps the remote access cache size on fft
+// (run cmd/sweep -sensitivity rac for the full table).
+func BenchmarkSensitivityRACSize(b *testing.B) {
+	metrics := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, entries := range []int{0, 1, 4} {
+			p := DefaultParams()
+			p.RACEntries = entries
+			res, err := Run(Config{Arch: CCNUMA, Workload: "fft", Pressure: 50,
+				Scale: benchScale, Params: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			metrics[fmt.Sprintf("rac%d_cycles", entries)] = float64(res.ExecTime)
+		}
+	}
+	for k, v := range metrics {
+		b.ReportMetric(v, k)
+	}
+}
+
+// --- simulator micro benchmarks ----------------------------------------------
+
+// BenchmarkSimulatorThroughput measures end-to-end simulated references per
+// second, the simulator's own figure of merit.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var refs int64
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, ASCOMA, "uniform", 50)
+		refs = res.Counter(func(n *stats.Node) int64 { return n.SharedRefs + n.PrivateRefs })
+	}
+	b.ReportMetric(float64(refs), "refs/op")
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	var q sim.Queue
+	for i := 0; i < b.N; i++ {
+		q.Push(sim.Event{Time: int64(i % 97)})
+		if q.Len() > 64 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkStreamGeneration(b *testing.B) {
+	g, err := workload.New("radix", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Place(func(addr.Page, int) {})
+	b.ResetTimer()
+	n := 0
+	s := g.Stream(0)
+	for i := 0; i < b.N; i++ {
+		r, ok := s.Next()
+		if !ok {
+			s = g.Stream(n % 8)
+			n++
+			continue
+		}
+		_ = r
+	}
+}

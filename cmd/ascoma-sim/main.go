@@ -1,0 +1,70 @@
+// Command ascoma-sim runs one simulation of a (architecture, workload,
+// memory pressure) configuration and prints the execution-time breakdown
+// and miss classification the paper's figures are built from.
+//
+// Usage:
+//
+//	ascoma-sim -arch ascoma -workload radix -pressure 70 [-scale 4] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ascoma"
+	"ascoma/internal/stats"
+)
+
+func main() {
+	arch := flag.String("arch", "ascoma", "architecture: ccnuma, scoma, rnuma, vcnuma, ascoma, mignuma")
+	wl := flag.String("workload", "radix", "workload: "+strings.Join(ascoma.Workloads(), ", "))
+	pressure := flag.Int("pressure", 50, "memory pressure in percent (1-99)")
+	scale := flag.Int("scale", 1, "problem-size divisor (1 = paper scale)")
+	verbose := flag.Bool("v", false, "print per-node statistics")
+	jsonOut := flag.Bool("json", false, "emit the full statistics as JSON")
+	flag.Parse()
+
+	a, err := ascoma.ParseArch(*arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := ascoma.Run(ascoma.Config{
+		Arch:     a,
+		Workload: *wl,
+		Pressure: *pressure,
+		Scale:    *scale,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats.Report(res.Machine)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(res.Report())
+
+	if *verbose {
+		t := &stats.Table{Header: []string{"node", "finish", "U-SH-MEM", "K-BASE", "K-OVERHD", "U-INSTR", "U-LC-MEM", "SYNC",
+			"HOME", "SCOMA", "RAC", "COLD", "CONF/CAPC", "upgrades", "downgrades", "faults"}}
+		for i := range res.Nodes {
+			n := &res.Nodes[i]
+			t.AddRow(i, n.FinishTime,
+				n.Time[stats.UShMem], n.Time[stats.KBase], n.Time[stats.KOverhead],
+				n.Time[stats.UInstr], n.Time[stats.ULcMem], n.Time[stats.Sync],
+				n.Misses[stats.Home], n.Misses[stats.SComa], n.Misses[stats.RAC],
+				n.Misses[stats.Cold], n.Misses[stats.ConfCapc],
+				n.Upgrades, n.Downgrades, n.PageFaults)
+		}
+		fmt.Print(t.String())
+	}
+}

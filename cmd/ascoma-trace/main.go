@@ -1,0 +1,140 @@
+// Command ascoma-trace records workload reference traces to files and runs
+// simulations from them. Traces freeze the exact reference streams, so a
+// configuration can be re-simulated bit-identically across generator
+// changes, diffed, or produced by external tools (the format is documented
+// in internal/workload.Trace).
+//
+// Usage:
+//
+//	ascoma-trace record -workload radix -scale 8 -o radix.trace
+//	ascoma-trace run -trace radix.trace -arch ascoma -pressure 70
+//	ascoma-trace info -trace radix.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ascoma"
+	"ascoma/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "run":
+		runTrace(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ascoma-trace record|run|info [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ascoma-trace:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wl := fs.String("workload", "radix", "workload to record")
+	scale := fs.Int("scale", 8, "problem-size divisor")
+	out := fs.String("o", "", "output file (default <workload>.trace)")
+	fs.Parse(args)
+
+	gen, err := workload.New(*wl, *scale)
+	if err != nil {
+		fail(err)
+	}
+	tr := workload.Record(gen)
+	path := *out
+	if path == "" {
+		path = *wl + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := tr.Encode(f); err != nil {
+		fail(err)
+	}
+	var refs int
+	for _, r := range tr.Refs {
+		refs += len(r)
+	}
+	fmt.Printf("recorded %s: %d nodes, %d placed pages, %d references -> %s\n",
+		*wl, tr.NumNodes, len(tr.Placement), refs, path)
+}
+
+func loadTrace(path string) *workload.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := workload.Decode(f)
+	if err != nil {
+		fail(err)
+	}
+	return tr
+}
+
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file to replay (required)")
+	arch := fs.String("arch", "ascoma", "architecture")
+	pressure := fs.Int("pressure", 50, "memory pressure percent")
+	fs.Parse(args)
+	if *path == "" {
+		fail(fmt.Errorf("-trace is required"))
+	}
+	a, err := ascoma.ParseArch(*arch)
+	if err != nil {
+		fail(err)
+	}
+	res, err := ascoma.RunGenerator(ascoma.Config{Arch: a, Pressure: *pressure}, loadTrace(*path))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(res.Report())
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file (required)")
+	fs.Parse(args)
+	if *path == "" {
+		fail(fmt.Errorf("-trace is required"))
+	}
+	tr := loadTrace(*path)
+	fmt.Printf("trace %q: %d nodes, %d home pages/node, %d private pages/node\n",
+		tr.TraceName, tr.NumNodes, tr.HomePages, tr.PrivPages)
+	fmt.Printf("placed pages: %d\n", len(tr.Placement))
+	for n, refs := range tr.Refs {
+		reads, writes, barriers := 0, 0, 0
+		for _, r := range refs {
+			switch r.Op {
+			case workload.Read:
+				reads++
+			case workload.Write:
+				writes++
+			case workload.Barrier:
+				barriers++
+			}
+		}
+		fmt.Printf("  node %d: %d refs (%d reads, %d writes, %d barriers)\n",
+			n, len(refs), reads, writes, barriers)
+	}
+}

@@ -1,0 +1,136 @@
+// Command sweep regenerates the paper's evaluation: the architecture ×
+// memory-pressure grids behind Figures 2 and 3 (relative execution time and
+// where misses were satisfied, per application), Tables 5 and 6 (workload
+// inventory and relocated-page counts), and the extension sensitivity
+// studies. Runs execute in parallel across CPUs. The rendering lives in
+// internal/report; this command only parses flags.
+//
+// Usage:
+//
+//	sweep                        # all six applications (Figures 2 and 3)
+//	sweep -fig 2                 # barnes, em3d, fft
+//	sweep -fig 3                 # lu, ocean, radix
+//	sweep -app radix             # one application
+//	sweep -table 5               # Table 5: programs and problem sizes
+//	sweep -table 6               # Table 6: remote vs relocated pages
+//	sweep -chart                 # paper-style stacked bar charts
+//	sweep -sensitivity threshold # static vs adaptive threshold study
+//	sweep -sensitivity rac       # RAC-size study
+//	sweep -sensitivity nodes     # machine-size scaling study
+//	sweep -scale 4 -csv          # smaller problems, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"ascoma/internal/report"
+)
+
+var (
+	fig         = flag.Int("fig", 0, "figure to regenerate (2 or 3; 0 = both)")
+	app         = flag.String("app", "", "run a single application")
+	table       = flag.Int("table", 0, "table to regenerate (5 or 6) instead of figures")
+	scale       = flag.Int("scale", 1, "problem-size divisor (1 = paper scale)")
+	pressures   = flag.String("pressures", "10,30,50,70,90", "comma-separated memory pressures")
+	csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart       = flag.Bool("chart", false, "render the figures as stacked bar charts (like the paper)")
+	sensitivity = flag.String("sensitivity", "", "run a design-choice sensitivity study: 'threshold', 'rac', or 'nodes'")
+	svgDir      = flag.String("svg", "", "also write the figures as SVG files into this directory")
+	jobs        = flag.Int("jobs", runtime.NumCPU(), "parallel simulations")
+)
+
+func main() {
+	flag.Parse()
+
+	plist, err := report.ParsePressures(*pressures)
+	if err != nil {
+		fail(err)
+	}
+	opts := report.Options{Scale: *scale, Pressures: plist, Jobs: *jobs}
+	switch {
+	case *csv:
+		opts.Format = "csv"
+	case *chart:
+		opts.Format = "chart"
+	}
+
+	var apps []string
+	switch {
+	case *app != "":
+		apps = []string{*app}
+	default:
+		apps = report.FigureApps(*fig)
+	}
+
+	switch *table {
+	case 5:
+		run(report.Table5(os.Stdout, apps, opts))
+		return
+	case 6:
+		run(report.Table6(os.Stdout, apps, opts))
+		return
+	case 0:
+	default:
+		fail(fmt.Errorf("sweep: unknown table %d (5 or 6)", *table))
+	}
+
+	switch *sensitivity {
+	case "threshold":
+		run(report.SensitivityThreshold(os.Stdout, opts))
+		return
+	case "rac":
+		run(report.SensitivityRAC(os.Stdout, opts))
+		return
+	case "nodes":
+		run(report.SensitivityNodes(os.Stdout, opts))
+		return
+	case "":
+	default:
+		fail(fmt.Errorf("sweep: unknown sensitivity study %q", *sensitivity))
+	}
+
+	for _, a := range apps {
+		run(report.Figure(os.Stdout, a, opts))
+		if *svgDir != "" {
+			run(writeSVGs(*svgDir, a, opts))
+		}
+	}
+}
+
+// writeSVGs renders one application's two panels into <dir>/<app>_time.svg
+// and <dir>/<app>_misses.svg.
+func writeSVGs(dir, app string, opts report.Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	timeF, err := os.Create(filepath.Join(dir, app+"_time.svg"))
+	if err != nil {
+		return err
+	}
+	defer timeF.Close()
+	missF, err := os.Create(filepath.Join(dir, app+"_misses.svg"))
+	if err != nil {
+		return err
+	}
+	defer missF.Close()
+	if err := report.FigureSVG(timeF, missF, app, opts); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s_time.svg and %s_misses.svg to %s\n", app, app, dir)
+	return nil
+}
+
+func run(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

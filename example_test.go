@@ -1,0 +1,59 @@
+package ascoma_test
+
+import (
+	"fmt"
+
+	"ascoma"
+)
+
+// The deterministic simulator makes examples testable: the same
+// configuration always produces the same cycle counts.
+
+// Compare two architectures on the same workload.
+func ExampleRun() {
+	cc, err := ascoma.Run(ascoma.Config{
+		Arch: ascoma.CCNUMA, Workload: "mismatch", Pressure: 50, Scale: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	as, err := ascoma.Run(ascoma.Config{
+		Arch: ascoma.ASCOMA, Workload: "mismatch", Pressure: 50, Scale: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("AS-COMA faster than CC-NUMA on badly placed data: %v\n",
+		as.ExecTime < cc.ExecTime)
+	// Output:
+	// AS-COMA faster than CC-NUMA on badly placed data: true
+}
+
+// Architectures parse from their conventional names.
+func ExampleParseArch() {
+	a, _ := ascoma.ParseArch("AS-COMA")
+	b, _ := ascoma.ParseArch("ascoma")
+	fmt.Println(a, a == b)
+	// Output:
+	// AS-COMA true
+}
+
+// The six applications of the paper plus the synthetic generators are
+// available by name.
+func ExampleWorkloads() {
+	for _, w := range ascoma.Workloads() {
+		fmt.Println(w)
+	}
+	// Output:
+	// barnes
+	// critsec
+	// em3d
+	// fft
+	// hotcold
+	// lu
+	// mismatch
+	// ocean
+	// radix
+	// stream
+	// uniform
+}

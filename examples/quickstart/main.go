@@ -1,0 +1,34 @@
+// Quickstart: run one application on two memory architectures and compare.
+//
+//	go run ./examples/quickstart
+//
+// This simulates radix sort — the paper's stress case for page-caching
+// policies — on the CC-NUMA baseline and on AS-COMA at moderate memory
+// pressure, and prints the execution-time breakdown and miss classification
+// for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ascoma"
+)
+
+func main() {
+	for _, arch := range []ascoma.Arch{ascoma.CCNUMA, ascoma.ASCOMA} {
+		res, err := ascoma.Run(ascoma.Config{
+			Arch:     arch,
+			Workload: "radix",
+			Pressure: 50, // home data fills half of each node's memory
+			Scale:    4,  // quarter-size problem: finishes in a second
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Report())
+		fmt.Println()
+	}
+	fmt.Println("AS-COMA turns most remote conflict misses into local page-cache")
+	fmt.Println("hits (SCOMA column) while keeping kernel overhead (K-OVERHD) low.")
+}

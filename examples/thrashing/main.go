@@ -1,0 +1,62 @@
+// Thrashing demonstration: why hybrids need a back-off, and what AS-COMA's
+// adaptive scheme buys over R-NUMA's always-relocate policy.
+//
+//	go run ./examples/thrashing
+//
+// At 90% memory pressure the radix working set dwarfs the page cache:
+// every page is about as hot as any other, so "fine tuning of the S-COMA
+// page cache will backfire". R-NUMA keeps relocating anyway — interrupts,
+// flushes, induced cold misses — while AS-COMA detects the thrashing,
+// raises its refetch threshold, and finally disables remapping. The
+// ablation run (AS-COMA without its back-off) shows the detection is what
+// matters, not the allocation preference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ascoma"
+	"ascoma/internal/stats"
+)
+
+func show(label string, cfg ascoma.Config) int64 {
+	res, err := ascoma.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := res.SumTime()
+	var total int64
+	for _, v := range t {
+		total += v
+	}
+	fmt.Printf("%-28s exec=%9d cycles  K-OVERHD=%4.1f%%  upgrades=%5d  evictions=%5d  thrash=%4d  denied=%4d\n",
+		label, res.ExecTime,
+		100*float64(t[stats.KOverhead])/float64(total),
+		res.Counter(func(n *stats.Node) int64 { return n.Upgrades }),
+		res.Counter(func(n *stats.Node) int64 { return n.Downgrades }),
+		res.Counter(func(n *stats.Node) int64 { return n.ThrashEvents }),
+		res.Counter(func(n *stats.Node) int64 { return n.RelocDenied }))
+	return res.ExecTime
+}
+
+func main() {
+	const app, pressure, scale = "radix", 90, 4
+	fmt.Printf("%s at %d%% memory pressure — the page cache holds only a sliver of the working set\n\n", app, pressure)
+
+	base := show("CC-NUMA (no relocation)", ascoma.Config{
+		Arch: ascoma.CCNUMA, Workload: app, Pressure: pressure, Scale: scale})
+	rn := show("R-NUMA (always relocates)", ascoma.Config{
+		Arch: ascoma.RNUMA, Workload: app, Pressure: pressure, Scale: scale})
+	nb := show("AS-COMA without back-off", ascoma.Config{
+		Arch: ascoma.ASCOMA, Workload: app, Pressure: pressure, Scale: scale,
+		Ablation: ascoma.AblationNoBackoff})
+	as := show("AS-COMA (full)", ascoma.Config{
+		Arch: ascoma.ASCOMA, Workload: app, Pressure: pressure, Scale: scale})
+
+	fmt.Printf("\nrelative to CC-NUMA: R-NUMA %.2fx, AS-COMA-no-backoff %.2fx, AS-COMA %.2fx\n",
+		float64(rn)/float64(base), float64(nb)/float64(base), float64(as)/float64(base))
+	fmt.Println("\nAS-COMA's pageout daemon cannot refill the free pool with cold pages,")
+	fmt.Println("declares thrashing, raises the relocation threshold, and stops remapping —")
+	fmt.Println("converging to CC-NUMA instead of paying R-NUMA's kernel overhead.")
+}

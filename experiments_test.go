@@ -1,0 +1,295 @@
+package ascoma
+
+import (
+	"sync"
+	"testing"
+
+	"ascoma/internal/stats"
+)
+
+// The experiment tests guard the qualitative results of the paper's
+// evaluation (Section 5) at a reduced problem scale, so regressions in the
+// policies or the memory-system model show up as test failures. Absolute
+// cycle counts are not asserted — only the orderings and rough factors the
+// paper reports.
+
+const expScale = 4 // problem-size divisor for the experiment tests
+
+type expKey struct {
+	arch     Arch
+	app      string
+	pressure int
+}
+
+var (
+	expMu    sync.Mutex
+	expCache = map[expKey]*Result{}
+)
+
+// exec runs (and memoizes) one configuration, returning execution time.
+func exec(t *testing.T, arch Arch, app string, pressure int) int64 {
+	t.Helper()
+	return result(t, arch, app, pressure).ExecTime
+}
+
+func result(t *testing.T, arch Arch, app string, pressure int) *Result {
+	t.Helper()
+	k := expKey{arch, app, pressure}
+	expMu.Lock()
+	res, ok := expCache[k]
+	expMu.Unlock()
+	if ok {
+		return res
+	}
+	res, err := Run(Config{Arch: arch, Workload: app, Pressure: pressure, Scale: expScale})
+	if err != nil {
+		t.Fatalf("%v/%s/%d%%: %v", arch, app, pressure, err)
+	}
+	expMu.Lock()
+	expCache[k] = res
+	expMu.Unlock()
+	return res
+}
+
+// ratio returns exec(arch)/exec(CCNUMA); CC-NUMA is pressure-insensitive.
+func ratio(t *testing.T, arch Arch, app string, pressure int) float64 {
+	return float64(exec(t, arch, app, pressure)) / float64(exec(t, CCNUMA, app, 50))
+}
+
+// --- Figure 3: radix, the paper's stress case -------------------------------
+
+func TestRadixLowPressureOrdering(t *testing.T) {
+	// "At low memory pressures ... AS-COMA acts like S-COMA and
+	// outperforms other hybrid architectures" (by up to 17% on radix);
+	// hybrids and S-COMA all beat CC-NUMA.
+	as := ratio(t, ASCOMA, "radix", 10)
+	sc := ratio(t, SCOMA, "radix", 10)
+	rn := ratio(t, RNUMA, "radix", 10)
+	if as >= rn {
+		t.Errorf("AS-COMA (%.2f) not better than R-NUMA (%.2f) at 10%%", as, rn)
+	}
+	if rn-as < 0.05*rn {
+		t.Errorf("AS-COMA advantage over R-NUMA too small: %.2f vs %.2f", as, rn)
+	}
+	if as >= 1 || sc >= 1 || rn >= 1 {
+		t.Errorf("low-pressure radix should beat CC-NUMA: as=%.2f sc=%.2f rn=%.2f", as, sc, rn)
+	}
+}
+
+func TestRadixSCOMACollapses(t *testing.T) {
+	// "the performance of pure S-COMA is 2.5 times worse than CC-NUMA's
+	// at memory pressures as low as 30%".
+	if r := ratio(t, SCOMA, "radix", 30); r < 2.0 {
+		t.Errorf("S-COMA radix at 30%% only %.2fx CC-NUMA, want >= 2x", r)
+	}
+	if r90, r30 := ratio(t, SCOMA, "radix", 90), ratio(t, SCOMA, "radix", 30); r90 < r30 {
+		t.Errorf("S-COMA improved with pressure: %.2f at 90%% vs %.2f at 30%%", r90, r30)
+	}
+}
+
+func TestRadixASCOMAConvergesToCCNUMA(t *testing.T) {
+	// "it remains within a few percent of CC-NUMA's performance" at high
+	// pressure, while R-NUMA falls well below CC-NUMA.
+	as := ratio(t, ASCOMA, "radix", 90)
+	rn := ratio(t, RNUMA, "radix", 90)
+	if as > 1.05 {
+		t.Errorf("AS-COMA radix at 90%% is %.2fx CC-NUMA, want within ~5%%", as)
+	}
+	if rn < 1.08 {
+		t.Errorf("R-NUMA radix at 90%% is %.2fx CC-NUMA, want visibly worse", rn)
+	}
+	if as >= rn {
+		t.Errorf("AS-COMA (%.2f) not better than R-NUMA (%.2f) at 90%%", as, rn)
+	}
+}
+
+func TestRadixVCNUMABetweenRNUMAAndASCOMA(t *testing.T) {
+	// "VC-NUMA's backoff algorithm proves to be more effective than
+	// R-NUMA's" but less so than AS-COMA's.
+	as := exec(t, ASCOMA, "radix", 90)
+	vc := exec(t, VCNUMA, "radix", 90)
+	rn := exec(t, RNUMA, "radix", 90)
+	if !(vc <= rn) {
+		t.Errorf("VC-NUMA (%d) not better than R-NUMA (%d) at 90%%", vc, rn)
+	}
+	if float64(as) > 1.03*float64(vc) {
+		t.Errorf("AS-COMA (%d) clearly worse than VC-NUMA (%d) at 90%%", as, vc)
+	}
+}
+
+// --- Figure 2: barnes and em3d ----------------------------------------------
+
+func TestBarnesHybridsBeatCCNUMA(t *testing.T) {
+	// Hot dense remote working set: S-COMA-style caching wins at low
+	// pressure ("AS-COMA, like S-COMA, outperforms CC-NUMA").
+	if r := ratio(t, ASCOMA, "barnes", 10); r > 0.9 {
+		t.Errorf("AS-COMA barnes at 10%% = %.2f, want well below 1", r)
+	}
+	if r := ratio(t, SCOMA, "barnes", 10); r > 0.9 {
+		t.Errorf("S-COMA barnes at 10%% = %.2f", r)
+	}
+}
+
+func TestBarnesRNUMAThrashesAtModeratePressure(t *testing.T) {
+	// "R-NUMA ... is only able to break even by the time memory pressure
+	// reaches 50%" and falls below CC-NUMA beyond, while AS-COMA keeps
+	// its advantage.
+	rn50 := ratio(t, RNUMA, "barnes", 50)
+	rn70 := ratio(t, RNUMA, "barnes", 70)
+	as50 := ratio(t, ASCOMA, "barnes", 50)
+	as70 := ratio(t, ASCOMA, "barnes", 70)
+	if rn50 < 0.93 {
+		t.Errorf("R-NUMA barnes at 50%% = %.2f, want near break-even", rn50)
+	}
+	if rn70 < 1.0 {
+		t.Errorf("R-NUMA barnes at 70%% = %.2f, want worse than CC-NUMA", rn70)
+	}
+	if as50 >= rn50 || as70 >= rn70 {
+		t.Errorf("AS-COMA (%.2f, %.2f) not better than R-NUMA (%.2f, %.2f) on barnes",
+			as50, as70, rn50, rn70)
+	}
+}
+
+func TestEm3dHighPressureOrdering(t *testing.T) {
+	// At 90%: AS-COMA ~CC-NUMA or better; R-NUMA worse than CC-NUMA;
+	// VC-NUMA in between; S-COMA worst.
+	as := ratio(t, ASCOMA, "em3d", 90)
+	vc := ratio(t, VCNUMA, "em3d", 90)
+	rn := ratio(t, RNUMA, "em3d", 90)
+	sc := ratio(t, SCOMA, "em3d", 90)
+	if as > 1.02 {
+		t.Errorf("AS-COMA em3d at 90%% = %.2f, want <= ~1", as)
+	}
+	if !(as <= vc && vc <= rn) {
+		t.Errorf("ordering broken at 90%%: as=%.2f vc=%.2f rn=%.2f", as, vc, rn)
+	}
+	if sc <= rn {
+		t.Errorf("S-COMA (%.2f) should be the worst at 90%% (R-NUMA %.2f)", sc, rn)
+	}
+}
+
+func TestEm3dLowPressureSCOMAWins(t *testing.T) {
+	sc := ratio(t, SCOMA, "em3d", 10)
+	as := ratio(t, ASCOMA, "em3d", 10)
+	if sc > 0.9 || as > 0.9 {
+		t.Errorf("em3d at 10%%: scoma=%.2f ascoma=%.2f, want clear wins", sc, as)
+	}
+	if as != sc {
+		// AS-COMA's S-COMA-preferred allocation makes it identical to
+		// pure S-COMA below the ideal pressure.
+		t.Logf("note: AS-COMA (%.3f) and S-COMA (%.3f) differ slightly at low pressure", as, sc)
+	}
+}
+
+// --- Figure 2/3: fft, ocean, lu ---------------------------------------------
+
+func TestFFTHybridsMatchCCNUMA(t *testing.T) {
+	// "only a tiny fraction of pages in fft are accessed enough to be
+	// eligible for relocation, so all of the hybrid architectures
+	// effectively become CC-NUMAs."
+	for _, arch := range []Arch{RNUMA, VCNUMA, ASCOMA} {
+		for _, p := range []int{10, 90} {
+			if r := ratio(t, arch, "fft", p); r < 0.93 || r > 1.10 {
+				t.Errorf("%v fft at %d%% = %.2f, want ~1.0", arch, p, r)
+			}
+		}
+	}
+}
+
+func TestFFTRelocatesAlmostNothing(t *testing.T) {
+	res := result(t, CCNUMA, "fft", 10)
+	if res.RemotePages == 0 {
+		t.Fatal("fft touched no remote pages")
+	}
+	frac := float64(res.RelocatedPages) / float64(res.RemotePages)
+	if frac > 0.02 {
+		t.Errorf("fft relocated fraction = %.1f%%, want < 2%% (Table 6: ~0%%)", 100*frac)
+	}
+}
+
+func TestOceanInsensitive(t *testing.T) {
+	// "all of the architectures other than pure S-COMA perform within a
+	// few percent of one another" at every pressure.
+	for _, arch := range []Arch{RNUMA, VCNUMA, ASCOMA} {
+		for _, p := range []int{10, 90} {
+			if r := ratio(t, arch, "ocean", p); r < 0.94 || r > 1.06 {
+				t.Errorf("%v ocean at %d%% = %.2f, want within a few %%", arch, p, r)
+			}
+		}
+	}
+}
+
+func TestLUHybridsWin(t *testing.T) {
+	// "all of the hybrid architectures outperform CC-NUMA ... across all
+	// memory pressures."
+	for _, arch := range []Arch{RNUMA, VCNUMA, ASCOMA} {
+		for _, p := range []int{10, 50} {
+			if r := ratio(t, arch, "lu", p); r >= 1.0 {
+				t.Errorf("%v lu at %d%% = %.2f, want < 1", arch, p, r)
+			}
+		}
+	}
+}
+
+func TestLURelocatesEverything(t *testing.T) {
+	// Table 6: lu's remote pages essentially all cross the threshold.
+	res := result(t, CCNUMA, "lu", 10)
+	if res.RemotePages == 0 {
+		t.Fatal("lu touched no remote pages")
+	}
+	frac := float64(res.RelocatedPages) / float64(res.RemotePages)
+	if frac < 0.85 {
+		t.Errorf("lu relocated fraction = %.0f%%, want ~90%%+", 100*frac)
+	}
+}
+
+// --- kernel-overhead attribution (Section 5.2's causal claim) --------------
+
+func TestThrashingShowsUpAsKernelOverhead(t *testing.T) {
+	// "Looking at the detailed breakdown of where time is spent, we can
+	// see that increasing kernel overhead is the culprit."
+	rn := result(t, RNUMA, "radix", 90)
+	tsum := rn.SumTime()
+	var total int64
+	for _, v := range tsum {
+		total += v
+	}
+	kov := float64(tsum[2]) / float64(total) // K-OVERHD
+	if kov < 0.10 {
+		t.Errorf("R-NUMA radix 90%%: K-OVERHD = %.1f%%, want substantial", 100*kov)
+	}
+
+	as := result(t, ASCOMA, "radix", 90)
+	asum := as.SumTime()
+	var atotal int64
+	for _, v := range asum {
+		atotal += v
+	}
+	akov := float64(asum[2]) / float64(atotal)
+	if akov > kov/2 {
+		t.Errorf("AS-COMA K-OVERHD (%.1f%%) not clearly below R-NUMA's (%.1f%%)", 100*akov, 100*kov)
+	}
+}
+
+func TestCCNUMAPressureInsensitive(t *testing.T) {
+	// "Only one result is shown for CC-NUMA, since it is not affected by
+	// memory pressure."
+	a := exec(t, CCNUMA, "em3d", 10)
+	b := exec(t, CCNUMA, "em3d", 90)
+	if a != b {
+		t.Errorf("CC-NUMA exec differs across pressure: %d vs %d", a, b)
+	}
+}
+
+func TestASCOMABackoffEngagesOnlyUnderPressure(t *testing.T) {
+	lo := result(t, ASCOMA, "radix", 10)
+	hi := result(t, ASCOMA, "radix", 90)
+	loThrash := lo.Counter(func(n *stats.Node) int64 { return n.ThrashEvents })
+	hiThrash := hi.Counter(func(n *stats.Node) int64 { return n.ThrashEvents })
+	if loThrash != 0 {
+		t.Errorf("thrash events at 10%% pressure: %d", loThrash)
+	}
+	if hiThrash == 0 {
+		t.Error("no thrash events at 90% pressure")
+	}
+}

@@ -1,0 +1,3 @@
+module ascoma
+
+go 1.22

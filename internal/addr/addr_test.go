@@ -1,0 +1,127 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ascoma/internal/params"
+)
+
+func TestBasicSplits(t *testing.T) {
+	a := GVA(0x1000_2345)
+	if PageOf(a) != Page(0x10002) {
+		t.Errorf("PageOf = %v", PageOf(a))
+	}
+	if LineOf(a) != Line(0x1000_2345>>5) {
+		t.Errorf("LineOf = %v", LineOf(a))
+	}
+	if BlockOf(a) != Block(0x1000_2345>>7) {
+		t.Errorf("BlockOf = %v", BlockOf(a))
+	}
+}
+
+func TestBlockIndexWithinPage(t *testing.T) {
+	p := Page(42)
+	for i := 0; i < params.BlocksPerPage; i++ {
+		b := p.BlockAt(i)
+		if b.Page() != p {
+			t.Fatalf("BlockAt(%d).Page() = %v, want %v", i, b.Page(), p)
+		}
+		if b.Index() != i {
+			t.Fatalf("BlockAt(%d).Index() = %d", i, b.Index())
+		}
+	}
+}
+
+func TestLineWithinBlock(t *testing.T) {
+	b := Block(0x1234)
+	for i := 0; i < params.LinesPerBlock; i++ {
+		l := b.LineAt(i)
+		if l.Block() != b {
+			t.Fatalf("LineAt(%d).Block() = %v, want %v", i, l.Block(), b)
+		}
+		if l.Page() != b.Page() {
+			t.Fatalf("line page %v != block page %v", l.Page(), b.Page())
+		}
+	}
+}
+
+// Property: for any address, line -> block -> page nesting is consistent
+// with direct extraction.
+func TestSplitConsistencyProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := GVA(raw)
+		l := LineOf(a)
+		return l.Block() == BlockOf(a) &&
+			l.Page() == PageOf(a) &&
+			BlockOf(a).Page() == PageOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Base is the inverse of the extraction on aligned addresses.
+func TestBaseRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		p := Page(raw)
+		b := Block(raw)
+		l := Line(raw)
+		return PageOf(p.Base()) == p && BlockOf(b.Base()) == b && LineOf(l.Base()) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: addresses within one page share the page, and the base is the
+// lowest address of the page.
+func TestPageContainsItsBytes(t *testing.T) {
+	f := func(raw uint32, off uint16) bool {
+		p := Page(raw)
+		a := p.Base() + GVA(off%params.PageSize)
+		return PageOf(a) == p && p.Base() <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	if !IsShared(SharedBase) {
+		t.Error("SharedBase not shared")
+	}
+	if IsShared(SharedBase - 1) {
+		t.Error("below SharedBase reported shared")
+	}
+	if IsShared(PrivateBase) {
+		t.Error("PrivateBase reported shared")
+	}
+	for n := 0; n < 64; n++ {
+		r := PrivateRegion(n)
+		if IsShared(r) {
+			t.Fatalf("private region of node %d reported shared", n)
+		}
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			ra, rb := PrivateRegion(a), PrivateRegion(b)
+			lo, hi := ra, rb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if hi-lo < PrivateStride {
+				t.Fatalf("regions of %d and %d overlap", a, b)
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if GVA(0x10).String() == "" || Page(1).String() == "" || Block(1).String() == "" {
+		t.Error("empty stringer output")
+	}
+}

@@ -1,0 +1,29 @@
+// Package bus models a node's coherent split-transaction memory bus (HP
+// Runway in the paper's configuration). Every memory transaction that leaves
+// or enters the processor occupies the bus for a fixed number of cycles;
+// concurrent transactions queue. Split transactions are modeled by charging
+// occupancy only for the address/data phases, not for the whole miss
+// latency.
+package bus
+
+import "ascoma/internal/sim"
+
+// Bus is one node's memory bus.
+type Bus struct {
+	occ int64
+	res sim.Resource
+}
+
+// New returns a bus whose transactions occupy occ cycles each.
+func New(occCycles int64) *Bus { return &Bus{occ: occCycles} }
+
+// Transaction occupies the bus for one transaction beginning no earlier
+// than t and returns the cycle at which the transaction has completed its
+// bus phases.
+func (b *Bus) Transaction(t sim.Time) sim.Time { return b.res.Acquire(t, b.occ) }
+
+// Busy returns total occupied cycles, for utilization reporting.
+func (b *Bus) Busy() sim.Time { return b.res.Busy }
+
+// Reset returns the bus to idle.
+func (b *Bus) Reset() { b.res.Reset() }

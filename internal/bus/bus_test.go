@@ -1,0 +1,36 @@
+package bus
+
+import "testing"
+
+func TestTransactionOccupancy(t *testing.T) {
+	b := New(7)
+	if end := b.Transaction(0); end != 7 {
+		t.Errorf("end = %d, want 7", end)
+	}
+	if b.Busy() != 7 {
+		t.Errorf("Busy = %d", b.Busy())
+	}
+}
+
+func TestTransactionsSerialize(t *testing.T) {
+	b := New(7)
+	b.Transaction(0)
+	if end := b.Transaction(3); end != 14 {
+		t.Errorf("overlapping transaction end = %d, want 14", end)
+	}
+	if end := b.Transaction(100); end != 107 {
+		t.Errorf("idle-gap transaction end = %d, want 107", end)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(7)
+	b.Transaction(0)
+	b.Reset()
+	if b.Busy() != 0 {
+		t.Error("Reset left busy cycles")
+	}
+	if end := b.Transaction(0); end != 7 {
+		t.Errorf("after reset end = %d, want 7", end)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ascoma/internal/params"
+)
+
+func newAS(t *testing.T) *ASCOMA {
+	t.Helper()
+	return New(params.ASCOMA, defParams()).(*ASCOMA)
+}
+
+func TestASCOMAPrefersSCOMAWithFreePages(t *testing.T) {
+	a := newAS(t)
+	if !a.InitialSCOMA(100, 10) {
+		t.Error("declined S-COMA with a full pool")
+	}
+	if !a.InitialSCOMA(1, 10) {
+		t.Error("declined S-COMA with pages left (paper: until the pool is drained)")
+	}
+	if a.InitialSCOMA(0, 10) {
+		t.Error("accepted S-COMA with an empty pool")
+	}
+	if a.PureSCOMA() {
+		t.Error("AS-COMA must fall back to CC-NUMA mappings")
+	}
+	if a.AllowHotEviction() {
+		t.Error("AS-COMA must never replace one hot page with another")
+	}
+}
+
+func TestASCOMAPressureModeStopsSCOMAAllocation(t *testing.T) {
+	a := newAS(t)
+	// Enough failed daemon passes to declare thrashing.
+	for i := 0; i < FailTolerance; i++ {
+		a.NoteDaemonPass(0, 10, 0, 20)
+	}
+	if !a.PressureMode() {
+		t.Fatal("pressure mode not entered")
+	}
+	if a.InitialSCOMA(5, 10) {
+		t.Error("pressure mode still allocating S-COMA pages")
+	}
+}
+
+func TestASCOMASingleFailureTolerated(t *testing.T) {
+	a := newAS(t)
+	a.NoteDaemonPass(0, 10, 0, 20)
+	if a.PressureMode() || a.ThrashEvents() != 0 {
+		t.Error("one failed pass (scan lag) already declared thrashing")
+	}
+	// A healthy pass resets the failure streak.
+	a.NoteDaemonPass(10, 10, 10, 10)
+	a.NoteDaemonPass(0, 10, 0, 20)
+	if a.PressureMode() {
+		t.Error("failure streak not reset by a healthy pass")
+	}
+}
+
+func TestASCOMAThresholdRisesUnderThrash(t *testing.T) {
+	p := defParams()
+	a := New(params.ASCOMA, p).(*ASCOMA)
+	base := a.Threshold()
+	for i := 0; i < 2*FailTolerance; i++ {
+		a.NoteDaemonPass(0, 10, 0, 20)
+	}
+	if a.Threshold() <= base {
+		t.Error("threshold did not rise")
+	}
+	if a.ThrashEvents() == 0 {
+		t.Error("no thrash events recorded")
+	}
+}
+
+func TestASCOMADisablesRelocationUnderSustainedThrash(t *testing.T) {
+	a := newAS(t)
+	if !a.RelocationEnabled() {
+		t.Fatal("relocation disabled at start")
+	}
+	for i := 0; i < FailTolerance*(DisableAfter+1); i++ {
+		a.NoteDaemonPass(0, 10, 0, 20)
+	}
+	if a.RelocationEnabled() {
+		t.Error("relocation still enabled after sustained thrashing")
+	}
+	if !a.RelocationDisabled() {
+		t.Error("RelocationDisabled accessor disagrees")
+	}
+}
+
+func TestASCOMABlockedUpgradesCountAsThrash(t *testing.T) {
+	a := newAS(t)
+	for i := 0; i < FailTolerance*(DisableAfter+1); i++ {
+		a.NoteUpgradeBlocked()
+	}
+	if a.RelocationEnabled() {
+		t.Error("repeated blocked upgrades did not disable relocation")
+	}
+}
+
+func TestASCOMADaemonIntervalBacksOff(t *testing.T) {
+	a := newAS(t)
+	if a.IntervalScale() != 1 {
+		t.Fatal("initial interval scale != 1")
+	}
+	for i := 0; i < 20; i++ {
+		a.NoteDaemonPass(0, 10, 0, 20)
+	}
+	if a.IntervalScale() <= 1 {
+		t.Error("interval did not back off")
+	}
+	if a.IntervalScale() > MaxIntervalScale {
+		t.Errorf("interval scale %d exceeds cap", a.IntervalScale())
+	}
+}
+
+func TestASCOMARecoveryRequiresSustainedHealth(t *testing.T) {
+	a := newAS(t)
+	for i := 0; i < FailTolerance*(DisableAfter+1); i++ {
+		a.NoteDaemonPass(0, 10, 0, 20)
+	}
+	if a.RelocationEnabled() || !a.PressureMode() {
+		t.Fatal("setup: not backed off")
+	}
+	// One healthy pass is not enough.
+	a.NoteDaemonPass(10, 10, 10, 10)
+	if a.RelocationEnabled() || !a.PressureMode() {
+		t.Error("a single healthy pass lifted the back-off")
+	}
+	for i := 0; i < RecoverAfter; i++ {
+		a.NoteDaemonPass(10, 10, 10, 10)
+	}
+	if !a.RelocationEnabled() || a.PressureMode() {
+		t.Error("sustained health did not lift the back-off")
+	}
+	if a.IntervalScale() != 1 {
+		t.Error("recovery did not restore the daemon interval")
+	}
+}
+
+func TestASCOMAThresholdDecaysOnRecovery(t *testing.T) {
+	p := defParams()
+	a := New(params.ASCOMA, p).(*ASCOMA)
+	for i := 0; i < 4*FailTolerance; i++ {
+		a.NoteDaemonPass(0, 10, 0, 20)
+	}
+	raised := a.Threshold()
+	a.NoteDaemonPass(10, 10, 10, 10)
+	if a.Threshold() >= raised {
+		t.Error("threshold did not decay on a healthy pass")
+	}
+	for i := 0; i < 100; i++ {
+		a.NoteDaemonPass(10, 10, 10, 10)
+	}
+	if a.Threshold() != p.RefetchThreshold {
+		t.Errorf("threshold settled at %d, want initial %d", a.Threshold(), p.RefetchThreshold)
+	}
+}
+
+func TestASCOMAColdScarcityIsThrashEvidence(t *testing.T) {
+	a := newAS(t)
+	// The pool reached the target, but only by scanning far more pages
+	// than it reclaimed: the cache is mostly hot.
+	for i := 0; i < 2*FailTolerance; i++ {
+		a.NoteDaemonPass(10, 10, 3, 20)
+	}
+	if a.ThrashEvents() == 0 {
+		t.Error("cold scarcity not treated as thrashing")
+	}
+}
+
+func TestASCOMAThresholdCappedAtMax(t *testing.T) {
+	p := defParams()
+	p.ThresholdMax = p.RefetchThreshold + 2*p.ThresholdIncrement
+	a := New(params.ASCOMA, p).(*ASCOMA)
+	for i := 0; i < 100; i++ {
+		a.NoteDaemonPass(0, 10, 0, 20)
+	}
+	if a.Threshold() > p.ThresholdMax {
+		t.Errorf("threshold %d above max %d", a.Threshold(), p.ThresholdMax)
+	}
+}
+
+// Property: the threshold never leaves [initial, max] and the interval
+// scale never leaves [1, MaxIntervalScale], regardless of the observation
+// sequence.
+func TestASCOMABoundsProperty(t *testing.T) {
+	p := defParams()
+	f := func(ops []uint8) bool {
+		a := New(params.ASCOMA, p).(*ASCOMA)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				a.NoteDaemonPass(0, 10, int(op%4), int(op%16))
+			case 1:
+				a.NoteDaemonPass(10, 10, int(op%4), int(op%8))
+			case 2:
+				a.NoteUpgradeBlocked()
+			}
+			if a.Threshold() < p.RefetchThreshold || a.Threshold() > p.ThresholdMax {
+				return false
+			}
+			if a.IntervalScale() < 1 || a.IntervalScale() > MaxIntervalScale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after back-off, a sufficiently long healthy streak always
+// restores the initial state (liveness of recovery).
+func TestASCOMARecoveryLivenessProperty(t *testing.T) {
+	p := defParams()
+	f := func(failures uint8) bool {
+		a := New(params.ASCOMA, p).(*ASCOMA)
+		for i := 0; i < int(failures); i++ {
+			a.NoteDaemonPass(0, 10, 0, 20)
+		}
+		for i := 0; i < 200; i++ {
+			a.NoteDaemonPass(10, 10, 10, 10)
+		}
+		return a.RelocationEnabled() && !a.PressureMode() &&
+			a.Threshold() == p.RefetchThreshold && a.IntervalScale() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

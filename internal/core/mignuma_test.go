@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"ascoma/internal/params"
+)
+
+func TestMIGNUMABasics(t *testing.T) {
+	p := defParams()
+	pol := New(params.MIGNUMA, p)
+	if pol.Arch() != params.MIGNUMA {
+		t.Fatal("wrong arch")
+	}
+	if pol.InitialSCOMA(100, 10) || pol.PureSCOMA() {
+		t.Error("MIG-NUMA must never replicate")
+	}
+	if !pol.RelocationEnabled() {
+		t.Error("MIG-NUMA must react to threshold crossings")
+	}
+	mig, ok := pol.(Migrator)
+	if !ok || !mig.Migrates() {
+		t.Fatal("MIG-NUMA does not implement Migrator")
+	}
+}
+
+func TestMIGNUMAAntiPingPong(t *testing.T) {
+	p := defParams()
+	pol := New(params.MIGNUMA, p).(*mignuma)
+	base := pol.Threshold()
+	pol.NoteMigration()
+	if pol.Threshold() <= base {
+		t.Error("threshold did not rise after a migration")
+	}
+	// Quiet daemon passes decay it back to the initial value.
+	for i := 0; i < 100; i++ {
+		pol.NoteDaemonPass(10, 10, 0, 0)
+	}
+	if pol.Threshold() != base {
+		t.Errorf("threshold settled at %d, want %d", pol.Threshold(), base)
+	}
+}
+
+func TestMIGNUMAThresholdBounded(t *testing.T) {
+	p := defParams()
+	pol := New(params.MIGNUMA, p).(*mignuma)
+	for i := 0; i < 100000; i++ {
+		pol.NoteMigration()
+	}
+	if pol.Threshold() > 1<<17 {
+		t.Errorf("threshold unbounded: %d", pol.Threshold())
+	}
+}
+
+func TestOnlyMIGNUMAMigrates(t *testing.T) {
+	p := defParams()
+	for _, a := range params.AllArchs() {
+		pol := New(a, p)
+		if mig, ok := pol.(Migrator); ok && mig.Migrates() {
+			t.Errorf("%v migrates", a)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ascoma/internal/params"
+)
+
+func defParams() *params.Params {
+	p := params.Default()
+	return &p
+}
+
+func TestNewCoversAllArchs(t *testing.T) {
+	p := defParams()
+	for _, a := range params.AllArchs() {
+		pol := New(a, p)
+		if pol.Arch() != a {
+			t.Errorf("New(%v).Arch() = %v", a, pol.Arch())
+		}
+	}
+}
+
+func TestNewUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(99) did not panic")
+		}
+	}()
+	New(params.Arch(99), defParams())
+}
+
+func TestCCNUMANeverReplicates(t *testing.T) {
+	pol := New(params.CCNUMA, defParams())
+	if pol.InitialSCOMA(1000, 10) {
+		t.Error("CC-NUMA wanted an S-COMA page")
+	}
+	if pol.RelocationEnabled() {
+		t.Error("CC-NUMA relocates")
+	}
+	if pol.PureSCOMA() {
+		t.Error("CC-NUMA is pure S-COMA?")
+	}
+	// The no-op hooks must be safe to call.
+	pol.NoteUpgradeBlocked()
+	pol.NoteEviction(5, 3)
+	if pol.NoteDaemonPass(0, 10, 0, 0) < 1 {
+		t.Error("interval scale below 1")
+	}
+	if pol.ThrashEvents() != 0 {
+		t.Error("CC-NUMA recorded thrash")
+	}
+}
+
+func TestSCOMAAlwaysReplicates(t *testing.T) {
+	pol := New(params.SCOMA, defParams())
+	if !pol.InitialSCOMA(0, 10) {
+		t.Error("S-COMA declined a page even with an empty pool (it must force-evict)")
+	}
+	if !pol.PureSCOMA() {
+		t.Error("S-COMA not pure")
+	}
+	if pol.RelocationEnabled() {
+		t.Error("S-COMA has no CC-NUMA pages to relocate")
+	}
+}
+
+func TestRNUMAFixedThresholdNoBackoff(t *testing.T) {
+	p := defParams()
+	pol := New(params.RNUMA, p)
+	if pol.InitialSCOMA(1000, 10) {
+		t.Error("R-NUMA initially maps S-COMA")
+	}
+	if !pol.RelocationEnabled() || !pol.AllowHotEviction() {
+		t.Error("R-NUMA must always relocate, evicting hot pages if needed")
+	}
+	before := pol.Threshold()
+	if before != p.RefetchThreshold {
+		t.Errorf("threshold = %d, want %d", before, p.RefetchThreshold)
+	}
+	// No feedback moves the threshold.
+	for i := 0; i < 100; i++ {
+		pol.NoteEviction(0, 1)
+		pol.NoteUpgradeBlocked()
+		pol.NoteDaemonPass(0, 10, 0, 50)
+	}
+	if pol.Threshold() != before {
+		t.Error("R-NUMA threshold moved")
+	}
+	if pol.ThrashEvents() != 0 {
+		t.Error("R-NUMA detected thrashing")
+	}
+}
+
+func TestVCNUMAEscalatesOnChurn(t *testing.T) {
+	p := defParams()
+	pol := New(params.VCNUMA, p).(*vcnuma)
+	base := pol.Threshold()
+	// Evictions of pages that never earned their break-even, with one
+	// cached page: evaluation happens every VCEvalReplacements evictions.
+	for i := 0; i < 2*p.VCEvalReplacements; i++ {
+		pol.NoteEviction(0, 1)
+	}
+	if pol.Threshold() <= base {
+		t.Errorf("threshold did not escalate: %d", pol.Threshold())
+	}
+	if pol.ThrashEvents() == 0 {
+		t.Error("no thrash recorded")
+	}
+}
+
+func TestVCNUMADecaysWhenPayingOff(t *testing.T) {
+	p := defParams()
+	pol := New(params.VCNUMA, p).(*vcnuma)
+	// Escalate once...
+	for i := 0; i < p.VCEvalReplacements; i++ {
+		pol.NoteEviction(0, 1)
+	}
+	raised := pol.Threshold()
+	// ...then victims that earned far more than break-even.
+	for i := 0; i < p.VCEvalReplacements; i++ {
+		pol.NoteEviction(uint32(10*p.VCBreakEven), 1)
+	}
+	if pol.Threshold() >= raised {
+		t.Errorf("threshold did not decay: %d", pol.Threshold())
+	}
+	if pol.Threshold() < p.RefetchThreshold {
+		t.Error("threshold decayed below the initial value")
+	}
+}
+
+func TestVCNUMAEvaluationCadenceScalesWithCache(t *testing.T) {
+	p := defParams()
+	pol := New(params.VCNUMA, p).(*vcnuma)
+	base := pol.Threshold()
+	// With 50 cached pages, 2x50 = 100 evictions are needed per
+	// evaluation; fewer must not move the threshold — the paper's
+	// "not sufficiently often to avoid thrashing".
+	for i := 0; i < 99; i++ {
+		pol.NoteEviction(0, 50)
+	}
+	if pol.Threshold() != base {
+		t.Error("VC-NUMA evaluated too eagerly")
+	}
+	pol.NoteEviction(0, 50)
+	if pol.Threshold() <= base {
+		t.Error("VC-NUMA missed its evaluation point")
+	}
+}
+
+func TestVCNUMAThresholdSaturatesAtCap(t *testing.T) {
+	p := defParams()
+	pol := New(params.VCNUMA, p).(*vcnuma)
+	for i := 0; i < 1000; i++ {
+		pol.NoteEviction(0, 1)
+	}
+	if pol.Threshold() > p.VCThresholdCap {
+		t.Errorf("threshold %d exceeded cap %d", pol.Threshold(), p.VCThresholdCap)
+	}
+}
+
+func TestVCNUMACapBelowThresholdClamped(t *testing.T) {
+	p := defParams()
+	p.VCThresholdCap = 1 // below the initial threshold
+	pol := New(params.VCNUMA, p).(*vcnuma)
+	for i := 0; i < 100; i++ {
+		pol.NoteEviction(0, 1)
+	}
+	if pol.Threshold() < p.RefetchThreshold {
+		t.Error("cap clamping pushed threshold below initial")
+	}
+}
+
+// Property: VC-NUMA's threshold always stays within [initial, cap].
+func TestVCNUMAThresholdBoundsProperty(t *testing.T) {
+	p := defParams()
+	f := func(ops []uint16) bool {
+		pol := New(params.VCNUMA, p).(*vcnuma)
+		for _, op := range ops {
+			pol.NoteEviction(uint32(op%64), int(op%8)+1)
+			th := pol.Threshold()
+			if th < p.RefetchThreshold || th > p.VCThresholdCap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoOpHooksSafe exercises every policy's full interface surface: the
+// no-op hooks must be callable and the accessors consistent, for all six
+// architectures.
+func TestNoOpHooksSafe(t *testing.T) {
+	p := defParams()
+	archs := append(params.AllArchs(), params.MIGNUMA)
+	for _, a := range archs {
+		pol := New(a, p)
+		pol.NoteUpgradeBlocked()
+		pol.NoteEviction(3, 2)
+		if s := pol.NoteDaemonPass(5, 10, 1, 2); s < 1 {
+			t.Errorf("%v: interval scale %d < 1", a, s)
+		}
+		if pol.Threshold() < 1 {
+			t.Errorf("%v: threshold %d < 1", a, pol.Threshold())
+		}
+		_ = pol.AllowHotEviction()
+		_ = pol.PureSCOMA()
+		if pol.ThrashEvents() < 0 {
+			t.Errorf("%v: negative thrash count", a)
+		}
+	}
+}
+
+// TestASCOMANoteEvictionIsSoftwareDetector: AS-COMA ignores per-eviction
+// hardware signals entirely (its detector is the pageout daemon).
+func TestASCOMANoteEvictionIsSoftwareDetector(t *testing.T) {
+	p := defParams()
+	a := New(params.ASCOMA, p).(*ASCOMA)
+	before := a.Threshold()
+	for i := 0; i < 1000; i++ {
+		a.NoteEviction(0, 1)
+	}
+	if a.Threshold() != before || a.ThrashEvents() != 0 {
+		t.Error("AS-COMA reacted to eviction signals")
+	}
+}
+
+// TestMIGNUMADecayOnlyAboveInitial covers the decay guard.
+func TestMIGNUMADecayOnlyAboveInitial(t *testing.T) {
+	p := defParams()
+	m := New(params.MIGNUMA, p).(*mignuma)
+	if m.NoteDaemonPass(0, 0, 0, 0) != 1 {
+		t.Error("interval scale != 1")
+	}
+	if m.Threshold() != p.RefetchThreshold {
+		t.Error("decay moved threshold below initial")
+	}
+}

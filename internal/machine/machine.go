@@ -1,0 +1,997 @@
+// Package machine assembles the full simulated multiprocessor: per-node
+// processors with L1 caches, RACs, buses, memory banks and VM kernels, a
+// global interconnect and coherence directory, and the architecture policy
+// that decides page placement and remapping. Machine.Run drives every
+// node's reference stream to completion and returns the statistics the
+// paper's figures are built from.
+package machine
+
+import (
+	"fmt"
+
+	"ascoma/internal/addr"
+	"ascoma/internal/bus"
+	"ascoma/internal/cache"
+	"ascoma/internal/core"
+	"ascoma/internal/directory"
+	"ascoma/internal/network"
+	"ascoma/internal/params"
+	"ascoma/internal/sim"
+	"ascoma/internal/stats"
+	"ascoma/internal/vm"
+	"ascoma/internal/workload"
+)
+
+// Config selects the architecture and memory pressure for one run.
+type Config struct {
+	Arch     params.Arch
+	Pressure int           // memory pressure percent, 1..99
+	Params   params.Params // machine parameters (zero value -> params.Default())
+	// Quantum is the number of cycles one node advances before the run
+	// loop switches to the next node (0 -> 100). Nodes interact through
+	// shared resources whose next-free times advance with the requests
+	// they serve, so the quantum bounds the timestamp skew between
+	// nodes: larger values run faster but overstate queueing (a node
+	// processed later in wall-clock order queues behind requests up to a
+	// quantum ahead of it in simulated time).
+	Quantum int64
+	// MaxCycles aborts runs that exceed this simulated time (0 -> no
+	// limit); a safety net against mismatched barrier counts.
+	MaxCycles int64
+	// PolicyFactory overrides per-node policy construction (nil -> the
+	// standard policy for Arch). Used by the ablation benchmarks to run
+	// AS-COMA variants.
+	PolicyFactory func(arch params.Arch, p *params.Params) core.Policy
+	// CheckCoherence enables the version-shadowing coherence checker:
+	// every locally satisfied access is validated against the block's
+	// current write version, and Run fails on any stale hit. Costs about
+	// 2x simulation time; intended for tests.
+	CheckCoherence bool
+	// SampleInterval, when > 0, records a Sample of node 0's adaptive
+	// state every SampleInterval cycles — the data behind adaptation
+	// timelines (threshold, free pool, relocation counts over time).
+	SampleInterval int64
+}
+
+// Sample is one point of the adaptation timeline recorded for node 0.
+type Sample struct {
+	Time       int64 // cycle of the sample
+	Threshold  int   // current relocation threshold
+	FreePages  int   // free page pool size
+	SComaPages int   // pages mapped in S-COMA mode
+	Upgrades   int64 // cumulative relocations
+	Downgrades int64 // cumulative evictions
+	Thrash     int64 // cumulative thrash detections
+	KOverhead  int64 // cumulative kernel-overhead cycles
+}
+
+// node is one processor/memory node.
+type node struct {
+	id  int
+	l1  *cache.L1
+	rac *cache.RAC
+	vmm *vm.VM
+	pol core.Policy
+	bus *bus.Bus
+	mem *sim.Banked
+	dir sim.Resource // directory-controller occupancy at this node
+
+	stream workload.Stream
+	st     *stats.Node
+
+	done           bool
+	waiting        bool  // parked at a barrier
+	lockWait       bool  // parked on a held mutex
+	arriveTime     int64 // barrier/lock arrival time
+	nextDaemon     int64
+	daemonInterval int64
+}
+
+// Machine is one configured simulation.
+type Machine struct {
+	cfg   Config
+	p     *params.Params
+	gen   workload.Generator
+	nodes []*node
+	net   *network.Net
+	dir   *directory.Directory
+	q     sim.Queue
+	st    *stats.Machine
+
+	active   int   // nodes not yet done
+	waiters  []int // nodes parked at the current barrier
+	barriers int64 // completed barrier episodes
+	locks    map[addr.GVA]*lockState
+	aborted  error // first fatal protocol/program error
+
+	// Invalidation-latency context for the current directory operation.
+	invHome  int
+	invDelay int64
+
+	checker *coherenceChecker
+
+	samples    []Sample
+	nextSample int64
+
+	// Remote-fetch latency accounting for capacity analysis (DebugFetch).
+	fetchCount int64
+	fetchTotal int64
+	fwdCount   int64
+	invCount   int64
+	stageWait  [4]int64 // bus, request net+dir, memory, reply net+bus
+}
+
+// DebugFetchStats returns the count and mean latency of remote fetches and
+// how many were three-hop forwards or carried invalidation delays.
+func (m *Machine) DebugFetchStats() (count int64, mean float64, forwards, withInvals int64) {
+	if m.fetchCount > 0 {
+		mean = float64(m.fetchTotal) / float64(m.fetchCount)
+	}
+	return m.fetchCount, mean, m.fwdCount, m.invCount
+}
+
+// New builds a machine for the given workload. The workload's node count
+// overrides Params.Nodes.
+func New(cfg Config, gen workload.Generator) (*Machine, error) {
+	if cfg.Params.Nodes == 0 {
+		cfg.Params = params.Default()
+	}
+	cfg.Params.Nodes = gen.Nodes()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Pressure < 1 || cfg.Pressure > 99 {
+		return nil, fmt.Errorf("machine: memory pressure %d%% out of range [1,99]", cfg.Pressure)
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 100
+	}
+
+	m := &Machine{cfg: cfg, gen: gen}
+	m.p = &m.cfg.Params
+	p := m.p
+
+	n := p.Nodes
+	m.net = network.New(p)
+	m.st = stats.NewMachine(n)
+	m.st.Arch = cfg.Arch.String()
+	m.st.Workload = gen.Name()
+	m.st.Pressure = cfg.Pressure
+
+	// Per-node memory sizing: home + private pages occupy Pressure% of
+	// the node's physical memory.
+	resident := gen.HomePagesPerNode() + gen.PrivatePagesPerNode()
+	totalPages := (resident*100 + cfg.Pressure - 1) / cfg.Pressure
+	if totalPages <= resident {
+		totalPages = resident + 1
+	}
+
+	newPolicy := cfg.PolicyFactory
+	if newPolicy == nil {
+		newPolicy = core.New
+	}
+	m.nodes = make([]*node, n)
+	for i := 0; i < n; i++ {
+		nd := &node{
+			id:             i,
+			l1:             cache.NewL1(p.L1Bytes),
+			rac:            cache.NewRAC(p.RACEntries),
+			vmm:            vm.New(i, totalPages, p.FreeMinPct, p.FreeTargetPct),
+			pol:            newPolicy(cfg.Arch, p),
+			bus:            bus.New(p.BusCycles),
+			mem:            sim.NewBanked(p.MemBanks),
+			st:             &m.st.Nodes[i],
+			nextDaemon:     p.DaemonInterval,
+			daemonInterval: p.DaemonInterval,
+		}
+		if err := nd.vmm.ReserveHome(resident); err != nil {
+			return nil, err
+		}
+		m.nodes[i] = nd
+	}
+
+	m.dir = directory.New(n, gen.HomePagesPerNode(), p.RefetchThreshold,
+		m.onInvalidate, m.onWriteback)
+
+	// Pre-place the shared home pages and install the home nodes'
+	// mappings (the paper's home allocation happens before the timed
+	// parallel phase).
+	gen.Place(func(pg addr.Page, home int) {
+		m.dir.ForceHome(pg, home)
+		m.nodes[home].vmm.MapLocal(pg, vm.ModeHome)
+	})
+
+	for i := 0; i < n; i++ {
+		m.nodes[i].stream = gen.Stream(i)
+	}
+	m.active = n
+	m.locks = make(map[addr.GVA]*lockState)
+	if cfg.CheckCoherence {
+		m.checker = newCoherenceChecker(n)
+	}
+	return m, nil
+}
+
+// lockState is one mutex: the paper's SYNC category covers lock and
+// barrier operations; locks are arbitrated at a home node (hashed from the
+// lock id) with FIFO handoff.
+type lockState struct {
+	held    bool
+	owner   int
+	waiters []int
+}
+
+// lockCost returns the latency of one atomic lock operation by nd on the
+// mutex with the given id: a local memory atomic when the lock's home is
+// this node, a remote round trip otherwise.
+func (m *Machine) lockCost(nd *node, id addr.GVA) int64 {
+	home := int(uint64(id) % uint64(len(m.nodes)))
+	if home == nd.id {
+		return m.p.BusCycles + m.p.LocalMemCycles
+	}
+	return m.p.RemoteMemCycles()
+}
+
+// acquireLock attempts to take the mutex; it returns the cycles consumed
+// and whether the node must park.
+func (m *Machine) acquireLock(nd *node, id addr.GVA, now int64) (cost int64, blocked bool) {
+	l := m.locks[id]
+	if l == nil {
+		l = &lockState{}
+		m.locks[id] = l
+	}
+	cost = m.lockCost(nd, id)
+	if !l.held {
+		l.held = true
+		l.owner = nd.id
+		return cost, false
+	}
+	l.waiters = append(l.waiters, nd.id)
+	return cost, true
+}
+
+// releaseLock frees the mutex and hands it to the first waiter, waking it.
+func (m *Machine) releaseLock(nd *node, id addr.GVA, now int64) (int64, error) {
+	l := m.locks[id]
+	if l == nil || !l.held || l.owner != nd.id {
+		return 0, fmt.Errorf("machine: node %d unlocked mutex %#x it does not hold", nd.id, uint64(id))
+	}
+	cost := m.lockCost(nd, id)
+	if len(l.waiters) == 0 {
+		l.held = false
+		return cost, nil
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.owner = next
+	w := m.nodes[next]
+	// The handoff reaches the waiter after the release plus a transfer.
+	resume := now + cost + m.net.Latency(nd.id, next) + m.p.NetPortOccupancy
+	w.st.Time[stats.Sync] += resume - w.arriveTime
+	w.lockWait = false
+	m.q.Push(sim.Event{Time: resume, Kind: sim.EvProc, Node: next})
+	return cost, nil
+}
+
+// onInvalidate is the directory's invalidation callback: clear every cached
+// copy of the block at the target node and record the worst-case
+// invalidation round-trip for the in-flight directory operation.
+func (m *Machine) onInvalidate(nodeID int, b addr.Block) {
+	nd := m.nodes[nodeID]
+	nd.l1.InvalidateBlock(b)
+	nd.rac.InvalidateBlock(b)
+	if pte := nd.vmm.PageOfBlock(b); pte != nil && pte.Mode == vm.ModeSCOMA {
+		pte.ClearBlockValid(b.Index())
+	}
+	nd.st.Invalidations++
+	if m.checker != nil {
+		m.checker.onInvalidate(nodeID, b)
+	}
+	rt := 2*m.net.Latency(m.invHome, nodeID) + m.p.NetPortOccupancy
+	if rt > m.invDelay {
+		m.invDelay = rt
+	}
+}
+
+// onWriteback is the directory's dirty-owner callback: the owner supplies
+// the block; on a write fetch it also loses its copy.
+func (m *Machine) onWriteback(nodeID int, b addr.Block, invalidate bool) {
+	if invalidate {
+		m.onInvalidate(nodeID, b)
+		return
+	}
+	nd := m.nodes[nodeID]
+	nd.l1.CleanBlock(b)
+	nd.rac.ClearOwned(b)
+	if pte := nd.vmm.PageOfBlock(b); pte != nil && pte.Mode == vm.ModeSCOMA {
+		pte.ClearBlockOwned(b.Index())
+	}
+}
+
+// Run drives the simulation to completion and returns the statistics.
+func (m *Machine) Run() (*stats.Machine, error) {
+	for i := range m.nodes {
+		m.q.Push(sim.Event{Time: 0, Kind: sim.EvProc, Node: i})
+	}
+	for {
+		ev, ok := m.q.Pop()
+		if !ok {
+			break
+		}
+		if m.cfg.MaxCycles > 0 && ev.Time > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("machine: exceeded MaxCycles=%d (arch=%v workload=%s)", m.cfg.MaxCycles, m.cfg.Arch, m.gen.Name())
+		}
+		m.runNode(m.nodes[ev.Node], ev.Time)
+	}
+	if m.aborted != nil {
+		return nil, m.aborted
+	}
+	if m.active > 0 {
+		return nil, fmt.Errorf("machine: deadlock: %d node(s) never finished (mismatched barriers or an unreleased lock?)", m.active)
+	}
+	if m.checker != nil {
+		if err := m.checker.Err(); err != nil {
+			return nil, err
+		}
+	}
+	m.finalize()
+	return m.st, nil
+}
+
+// runNode advances one node by up to one quantum of simulated time.
+func (m *Machine) runNode(nd *node, now int64) {
+	if nd.done || nd.waiting || nd.lockWait {
+		return
+	}
+	if m.cfg.SampleInterval > 0 && nd.id == 0 && now >= m.nextSample {
+		m.takeSample(nd, now)
+	}
+	deadline := now + m.cfg.Quantum
+	for now < deadline {
+		if now >= nd.nextDaemon {
+			now += m.runDaemon(nd, now)
+			continue
+		}
+		ref, ok := nd.stream.Next()
+		if !ok {
+			nd.done = true
+			nd.st.FinishTime = now
+			m.active--
+			m.checkBarrier()
+			return
+		}
+		if ref.Op == workload.Barrier {
+			nd.waiting = true
+			nd.arriveTime = now
+			m.waiters = append(m.waiters, nd.id)
+			m.checkBarrier()
+			return
+		}
+		if ref.Op == workload.Lock {
+			cost, blocked := m.acquireLock(nd, ref.Addr, now)
+			nd.st.Time[stats.Sync] += cost
+			now += cost
+			if blocked {
+				nd.lockWait = true
+				nd.arriveTime = now
+				return
+			}
+			continue
+		}
+		if ref.Op == workload.Unlock {
+			cost, err := m.releaseLock(nd, ref.Addr, now)
+			if err != nil {
+				m.aborted = err
+				nd.done = true
+				m.active--
+				return
+			}
+			nd.st.Time[stats.Sync] += cost
+			now += cost
+			continue
+		}
+		now = m.access(nd, ref, now)
+	}
+	m.q.Push(sim.Event{Time: now, Kind: sim.EvProc, Node: nd.id})
+}
+
+// checkBarrier releases the barrier once every still-running node has
+// arrived.
+func (m *Machine) checkBarrier() {
+	if m.active == 0 || len(m.waiters) < m.active {
+		return
+	}
+	var latest int64
+	for _, w := range m.waiters {
+		if t := m.nodes[w].arriveTime; t > latest {
+			latest = t
+		}
+	}
+	release := latest + m.p.BarrierCycles
+	for _, w := range m.waiters {
+		nd := m.nodes[w]
+		nd.st.Time[stats.Sync] += release - nd.arriveTime
+		nd.waiting = false
+		m.q.Push(sim.Event{Time: release, Kind: sim.EvProc, Node: w})
+	}
+	m.waiters = m.waiters[:0]
+	m.barriers++
+}
+
+// access resolves one memory reference and returns the completion time.
+func (m *Machine) access(nd *node, ref workload.Ref, now int64) int64 {
+	p := m.p
+	if ref.Think > 0 {
+		nd.st.Time[stats.UInstr] += int64(ref.Think)
+		now += int64(ref.Think)
+	}
+	write := ref.Op == workload.Write
+	shared := addr.IsShared(ref.Addr)
+	if shared {
+		nd.st.SharedRefs++
+	} else {
+		nd.st.PrivateRefs++
+	}
+	stallCat := stats.ULcMem
+	if shared {
+		stallCat = stats.UShMem
+	}
+
+	line := addr.LineOf(ref.Addr)
+	if nd.l1.Lookup(line, write) {
+		if m.checker != nil && shared {
+			m.checker.onLocalHit(nd.id, line.Block(), "L1")
+			if write {
+				m.checker.onWrite(nd.id, line.Block())
+			}
+		}
+		nd.st.L1Hits++
+		nd.st.Time[stallCat] += p.L1HitCycles
+		return now + p.L1HitCycles
+	}
+
+	// L1 miss: translate.
+	page := addr.PageOf(ref.Addr)
+	pte := nd.vmm.Lookup(page)
+	if pte == nil {
+		var kcost int64
+		pte, kcost = m.pageFault(nd, page, now)
+		now += kcost
+	}
+	pte.RefBit = true
+	block := line.Block()
+
+	var done int64
+	switch pte.Mode {
+	case vm.ModePrivate:
+		done = m.localAccess(nd, block, now)
+		nd.st.Time[stats.ULcMem] += done - now
+		m.l1Fill(nd, line, write, done)
+		return done
+
+	case vm.ModeHome:
+		done = m.localAccess(nd, block, now)
+		if write {
+			m.invHome, m.invDelay = nd.id, 0
+			if inv := m.dir.HomeWrite(block); inv > 0 {
+				if t := now + m.invDelay; t > done {
+					done = t
+				}
+			}
+			if m.checker != nil {
+				m.checker.onWrite(nd.id, block)
+			}
+		} else {
+			if owner, fetched := m.dir.HomeRead(block); fetched {
+				// Dirty at a remote owner: retrieve before supplying.
+				t := m.net.Send(nd.id, owner, done)
+				t = m.nodes[owner].mem.Acquire(uint64(block), t, p.LocalMemCycles)
+				done = m.net.Send(owner, nd.id, t)
+			}
+			if m.checker != nil {
+				m.checker.onFetch(nd.id, block)
+			}
+		}
+		nd.st.Misses[stats.Home]++
+		nd.st.Time[stats.UShMem] += done - now
+		m.l1Fill(nd, line, write, done)
+		return done
+
+	case vm.ModeSCOMA:
+		bi := block.Index()
+		switch {
+		case pte.BlockValid(bi) && (!write || pte.BlockOwned(bi)):
+			// Satisfied from the local page cache.
+			done = m.localAccess(nd, block, now)
+			nd.st.Misses[stats.SComa]++
+			pte.SComaHits++
+			if m.checker != nil {
+				m.checker.onLocalHit(nd.id, block, "page cache")
+				if write {
+					m.checker.onWrite(nd.id, block)
+				}
+			}
+		case pte.BlockValid(bi):
+			// Write to a clean cached block: ownership upgrade.
+			if m.checker != nil {
+				m.checker.onLocalHit(nd.id, block, "page cache (upgrade)")
+			}
+			done, _ = m.remoteFetch(nd, pte, block, true, true, now)
+			pte.SetBlockOwned(bi)
+			nd.st.Misses[stats.SComa]++
+			pte.SComaHits++
+			if m.checker != nil {
+				m.checker.onWrite(nd.id, block)
+			}
+		default:
+			var res directory.FetchResult
+			done, res = m.remoteFetch(nd, pte, block, write, false, now)
+			pte.SetBlockValid(bi)
+			if write {
+				pte.SetBlockOwned(bi)
+			}
+			if m.checker != nil {
+				m.checker.onFetch(nd.id, block)
+				if write {
+					m.checker.onWrite(nd.id, block)
+				}
+			}
+			m.classify(nd, res)
+		}
+		nd.st.Time[stats.UShMem] += done - now
+		m.l1Fill(nd, line, write, done)
+		return done
+
+	case vm.ModeNUMA:
+		switch {
+		case nd.rac.Lookup(block, write):
+			done = m.racAccess(nd, now)
+			nd.st.Misses[stats.RAC]++
+			if m.checker != nil {
+				m.checker.onLocalHit(nd.id, block, "RAC")
+				if write {
+					m.checker.onWrite(nd.id, block)
+				}
+			}
+		case write && nd.rac.Present(block):
+			// Write to a clean RAC block: ownership upgrade.
+			if m.checker != nil {
+				m.checker.onLocalHit(nd.id, block, "RAC (upgrade)")
+			}
+			done, _ = m.remoteFetch(nd, pte, block, true, true, now)
+			nd.rac.SetOwned(block)
+			nd.st.Misses[stats.RAC]++
+			if m.checker != nil {
+				m.checker.onWrite(nd.id, block)
+			}
+		default:
+			var res directory.FetchResult
+			done, res = m.remoteFetch(nd, pte, block, write, false, now)
+			if m.checker != nil {
+				m.checker.onFetch(nd.id, block)
+				if write {
+					m.checker.onWrite(nd.id, block)
+				}
+			}
+			if victim, owned := nd.rac.Insert(block, write); owned {
+				m.remoteWriteback(nd, victim, done)
+			}
+			m.classify(nd, res)
+			// The R-NUMA relocation mechanism: the home piggybacks a
+			// threshold crossing; the requester takes an interrupt and
+			// remaps the page to S-COMA mode.
+			if res.Refetch && nd.pol.RelocationEnabled() &&
+				int(res.RefetchCount) >= nd.pol.Threshold() {
+				nd.st.Time[stats.UShMem] += done - now
+				m.l1Fill(nd, line, write, done)
+				return done + m.relocate(nd, pte, done)
+			}
+		}
+		nd.st.Time[stats.UShMem] += done - now
+		m.l1Fill(nd, line, write, done)
+		return done
+	}
+	panic("machine: unmapped PTE mode")
+}
+
+// classify charges the miss to COLD or CONF/CAPC.
+func (m *Machine) classify(nd *node, res directory.FetchResult) {
+	switch res.Class {
+	case directory.ColdEssential:
+		nd.st.Misses[stats.Cold]++
+	case directory.ColdInduced:
+		nd.st.Misses[stats.Cold]++
+		nd.st.InducedCold++
+	default:
+		nd.st.Misses[stats.ConfCapc]++
+	}
+}
+
+// localAccess models an access satisfied by this node's DRAM (home data,
+// page cache, or private data): bus transaction plus a memory-bank access.
+func (m *Machine) localAccess(nd *node, b addr.Block, now int64) int64 {
+	t := nd.bus.Transaction(now)
+	return nd.mem.Acquire(uint64(b), t, m.p.LocalMemCycles)
+}
+
+// racAccess models a hit in the DSM controller's remote access cache.
+func (m *Machine) racAccess(nd *node, now int64) int64 {
+	t := nd.bus.Transaction(now)
+	extra := m.p.RACHitCycles - m.p.BusCycles
+	if extra < 1 {
+		extra = 1
+	}
+	return t + extra
+}
+
+// remoteFetch walks a block fetch through the full remote path: local bus,
+// request hop, home directory and memory (or three-hop forwarding from a
+// dirty owner), invalidations for writes, reply hop, local bus fill.
+func (m *Machine) remoteFetch(nd *node, pte *vm.PTE, b addr.Block, write, haveData bool, now int64) (int64, directory.FetchResult) {
+	p := m.p
+	home := pte.Home
+	t := nd.bus.Transaction(now)
+	m.stageWait[0] += t - now - p.BusCycles
+	t += p.DSMProcCycles // requester's DSM engine issues the request
+	t0 := t
+	t = m.net.Send(nd.id, home, t)
+	t = m.nodes[home].dir.Acquire(t, p.DirCycles)
+	m.stageWait[1] += t - t0 - m.net.Latency(nd.id, home) - p.NetPortOccupancy - p.DirCycles
+
+	m.invHome, m.invDelay = home, 0
+	res := m.dir.Fetch(nd.id, b, write, haveData)
+
+	// The home node's own processor cache is outside the directory's
+	// copysets — the DSM engine keeps it coherent by snooping the home
+	// bus: granting ownership remotely purges the home's copy, and
+	// supplying a read downgrades it to read-only.
+	if write {
+		m.nodes[home].l1.InvalidateBlock(b)
+		if m.checker != nil {
+			m.checker.onInvalidate(home, b)
+		}
+	} else {
+		m.nodes[home].l1.CleanBlock(b)
+	}
+
+	if res.Forwarded {
+		o := res.ForwardOwner
+		t = m.net.Send(home, o, t)
+		t = m.nodes[o].mem.Acquire(uint64(b), t, p.LocalMemCycles)
+		t = m.net.Send(o, nd.id, t)
+	} else {
+		t1 := t
+		t = m.nodes[home].mem.Acquire(uint64(b), t, p.LocalMemCycles)
+		m.stageWait[2] += t - t1 - p.LocalMemCycles
+		if m.invDelay > 0 {
+			// Sequential consistency: the write completes only after
+			// every sharer has acknowledged its invalidation.
+			t += m.invDelay
+		}
+		t2 := t
+		t = m.net.Send(home, nd.id, t)
+		m.stageWait[3] += t - t2 - m.net.Latency(home, nd.id) - p.NetPortOccupancy
+	}
+	t += p.DSMProcCycles // requester's DSM engine stages the reply
+	t = nd.bus.Transaction(t)
+	m.fetchCount++
+	m.fetchTotal += t + p.L1HitCycles - now
+	if res.Forwarded {
+		m.fwdCount++
+	}
+	if m.invDelay > 0 {
+		m.invCount++
+	}
+	return t + p.L1HitCycles, res
+}
+
+// remoteWriteback sends a displaced dirty block home (RAC or L1
+// replacement). The writeback is posted: it occupies resources but does not
+// stall the processor.
+func (m *Machine) remoteWriteback(nd *node, b addr.Block, now int64) {
+	home := m.dir.Home(b.Page())
+	if home < 0 || home == nd.id {
+		return
+	}
+	t := nd.bus.Transaction(now)
+	t = m.net.Send(nd.id, home, t)
+	m.nodes[home].mem.Acquire(uint64(b), t, m.p.LocalMemCycles)
+	m.dir.WritebackDirty(nd.id, b)
+	nd.st.Writebacks++
+}
+
+// l1Fill inserts the line, handling the displaced victim's writeback.
+func (m *Machine) l1Fill(nd *node, line addr.Line, write bool, now int64) {
+	victim, wasValid, wasDirty := nd.l1.Insert(line, write)
+	if !wasValid || !wasDirty {
+		return
+	}
+	nd.st.Writebacks++
+	vb := victim.Block()
+	pte := nd.vmm.Lookup(victim.Page())
+	if pte == nil {
+		return
+	}
+	switch pte.Mode {
+	case vm.ModePrivate, vm.ModeHome:
+		m.localAccess(nd, vb, now) // occupy local resources only
+	case vm.ModeSCOMA:
+		if pte.BlockValid(vb.Index()) {
+			m.localAccess(nd, vb, now) // lands in the page cache
+		} else {
+			m.remoteWriteback(nd, vb, now)
+		}
+	case vm.ModeNUMA:
+		if nd.rac.Present(vb) {
+			nd.bus.Transaction(now) // absorbed by the RAC
+		} else {
+			m.remoteWriteback(nd, vb, now)
+		}
+	}
+}
+
+// pageFault installs the mapping for a faulting page, applying the
+// architecture's initial-allocation policy, and returns the kernel cost.
+func (m *Machine) pageFault(nd *node, page addr.Page, now int64) (*vm.PTE, int64) {
+	p := m.p
+	nd.st.PageFaults++
+	base := p.PageFaultCycles
+	nd.st.Time[stats.KBase] += base
+
+	gva := page.Base()
+	if !addr.IsShared(gva) {
+		return nd.vmm.MapLocal(page, vm.ModePrivate), base
+	}
+
+	home := m.dir.Home(page)
+	if home < 0 {
+		home = m.dir.AssignHome(page, nd.id)
+	}
+	if home == nd.id {
+		return nd.vmm.MapLocal(page, vm.ModeHome), base
+	}
+
+	nd.st.RemotePagesSeen++
+	var overhead int64
+	var pte *vm.PTE
+	if nd.pol.InitialSCOMA(nd.vmm.Free(), nd.vmm.FreeMin()) {
+		pte = nd.vmm.MapSCOMA(page, home)
+	}
+	if pte == nil && nd.pol.PureSCOMA() {
+		// Pure S-COMA must back the page locally: synchronously replace
+		// another page. This is the S-COMA thrashing path.
+		if victim := nd.vmm.ForceVictim(); victim != nil {
+			overhead += m.evict(nd, victim)
+			pte = nd.vmm.MapSCOMA(page, home)
+		}
+	}
+	if pte == nil {
+		pte = nd.vmm.MapNUMA(page, home)
+	}
+	if nd.vmm.Free() < nd.vmm.FreeMin() && nd.nextDaemon > now {
+		// Wake the pageout daemon early to refill the pool.
+		nd.nextDaemon = now + base + overhead
+	}
+	nd.st.Time[stats.KOverhead] += overhead
+	return pte, base + overhead
+}
+
+// relocate handles a relocation interrupt: upgrade the page to S-COMA mode,
+// evicting a victim if the pool is empty and policy allows. Returns the
+// kernel cycles consumed. Migration policies (core.Migrator) move the page
+// instead of replicating it.
+func (m *Machine) relocate(nd *node, pte *vm.PTE, now int64) int64 {
+	if mig, ok := nd.pol.(core.Migrator); ok && mig.Migrates() {
+		return m.migrate(nd, mig, pte, now)
+	}
+	p := m.p
+	cost := p.InterruptCycles
+	m.dir.ResetRefetch(pte.Page, nd.id)
+
+	ok := nd.vmm.Upgrade(pte)
+	if !ok && nd.pol.AllowHotEviction() {
+		// R-NUMA and VC-NUMA replace synchronously at the interrupt:
+		// second-chance for a cold victim first, then any page ("even if
+		// it must evict another hot page to do so"). AS-COMA never does
+		// this — upgrades draw only from the free pool the pageout
+		// daemon maintains, and a dry pool is thrashing evidence.
+		victim, scanned := nd.vmm.ClockScan(nd.vmm.SComaPages())
+		cost += int64(scanned) * p.DaemonPageCycles
+		nd.st.DaemonScanned += int64(scanned)
+		if victim == nil {
+			victim = nd.vmm.ForceVictim()
+		}
+		if victim != nil {
+			cost += m.evict(nd, victim)
+			ok = nd.vmm.Upgrade(pte)
+		}
+	}
+	if ok {
+		flushed, _ := nd.l1.FlushPage(pte.Page)
+		nd.rac.FlushPage(pte.Page)
+		_, dirty := m.dir.FlushNode(pte.Page, nd.id)
+		cost += p.RelocationCycles + int64(flushed)*p.L1FlushLine + int64(dirty)*p.FlushBlockWBCycles
+		nd.st.Upgrades++
+	} else {
+		nd.pol.NoteUpgradeBlocked()
+		nd.st.RelocDenied++
+	}
+	nd.st.Time[stats.KOverhead] += cost
+	return cost
+}
+
+// migrate moves a hot page's home to the requesting node (the MIG-NUMA
+// extension): every node's cached copies are invalidated, the data is
+// shipped block by block, all page tables are updated (modeled as a global
+// TLB-shootdown cost), and the requester pins a free physical page to hold
+// the new home copy. Returns the kernel cycles consumed by the requester.
+func (m *Machine) migrate(nd *node, mig core.Migrator, pte *vm.PTE, now int64) int64 {
+	p := m.p
+	cost := p.InterruptCycles
+	page := pte.Page
+	oldHome := pte.Home
+	m.dir.ResetRefetch(page, nd.id)
+
+	if !nd.vmm.AdoptHomePage() {
+		// No free physical page to hold the migrated copy.
+		nd.st.RelocDenied++
+		nd.st.Time[stats.KOverhead] += cost
+		return cost
+	}
+
+	m.invHome, m.invDelay = oldHome, 0
+	m.dir.MigratePage(page, nd.id)
+
+	// The old home's processor cache held its own home data untracked by
+	// any copyset; flush it explicitly and free the physical page.
+	m.nodes[oldHome].l1.FlushPage(page)
+	m.nodes[oldHome].rac.FlushPage(page)
+	m.nodes[oldHome].vmm.ReleaseHomePage()
+
+	// Ship the page: one DSM block at a time, old home to new home
+	// (posted transfers; the kernel cost below covers the stall).
+	t := now
+	for i := 0; i < params.BlocksPerPage; i++ {
+		t = m.net.Send(oldHome, nd.id, t)
+		m.nodes[nd.id].mem.Acquire(uint64(page.BlockAt(i)), t, p.LocalMemCycles)
+	}
+
+	// Update every node's mapping of the page.
+	for _, other := range m.nodes {
+		opte := other.vmm.Lookup(page)
+		if opte == nil {
+			continue
+		}
+		opte.Home = nd.id
+		switch {
+		case other.id == nd.id:
+			opte.Mode = vm.ModeHome
+		case opte.Mode == vm.ModeHome:
+			opte.Mode = vm.ModeNUMA
+		}
+	}
+
+	cost += p.MigrationCycles
+	nd.st.Migrations++
+	mig.NoteMigration()
+	nd.st.Time[stats.KOverhead] += cost
+	return cost
+}
+
+// evict flushes and downgrades an S-COMA page back to CC-NUMA mode,
+// returning the kernel cycles consumed. Used by the pageout daemon, by
+// relocation, and by pure S-COMA's synchronous replacement.
+func (m *Machine) evict(nd *node, victim *vm.PTE) int64 {
+	p := m.p
+	flushed, _ := nd.l1.FlushPage(victim.Page)
+	nd.rac.FlushPage(victim.Page)
+	_, dirty := m.dir.FlushNode(victim.Page, nd.id)
+	hits := victim.SComaHits
+	nd.vmm.Downgrade(victim)
+	if nd.pol.PureSCOMA() {
+		// Pure S-COMA has no CC-NUMA fallback: the evicted page loses
+		// its mapping and the next access must fault and re-replace.
+		nd.vmm.Unmap(victim)
+	}
+	nd.st.Downgrades++
+	nd.pol.NoteEviction(hits, nd.vmm.SComaPages())
+	return p.RelocationCycles + int64(flushed)*p.L1FlushLine + int64(dirty)*p.FlushBlockWBCycles
+}
+
+// runDaemon models one pageout-daemon invocation: when the pool is below
+// free_min, second-chance scan and evict cold pages until free_target is
+// reached or no cold pages remain, then let the policy observe the outcome
+// (AS-COMA's thrash detector lives in that observation). Returns the cycles
+// consumed, charged as K-OVERHD.
+func (m *Machine) runDaemon(nd *node, now int64) int64 {
+	p := m.p
+	vmm := nd.vmm
+
+	// The kernel's timer only wakes the pageout daemon when the pool has
+	// dropped below free_min; a healthy pool costs nothing (CC-NUMA never
+	// pays daemon overhead).
+	var cost int64
+	if vmm.Free() < vmm.FreeMin() {
+		nd.st.DaemonRuns++
+		cost = p.DaemonWakeCycles
+		// One clock sweep per invocation: a page whose reference bit
+		// this run clears is evicted only if it is still unreferenced
+		// when the daemon next wakes — that interval is the second
+		// chance.
+		budget := vmm.SComaPages()
+		reclaimed, totalScanned := 0, 0
+		for vmm.Free() < vmm.FreeTarget() && budget > 0 {
+			victim, scanned := vmm.ClockScan(budget)
+			budget -= scanned
+			totalScanned += scanned
+			cost += int64(scanned) * p.DaemonPageCycles
+			nd.st.DaemonScanned += int64(scanned)
+			if victim == nil {
+				break
+			}
+			cost += m.evict(nd, victim)
+			reclaimed++
+		}
+		nd.st.DaemonReclaimed += int64(reclaimed)
+		scale := nd.pol.NoteDaemonPass(vmm.Free(), vmm.FreeTarget(), reclaimed, totalScanned)
+		nd.daemonInterval = p.DaemonInterval * scale
+	} else if vmm.Free() >= vmm.FreeTarget() {
+		scale := nd.pol.NoteDaemonPass(vmm.Free(), vmm.FreeTarget(), 0, 0)
+		nd.daemonInterval = p.DaemonInterval * scale
+	}
+	nd.st.Time[stats.KOverhead] += cost
+	nd.nextDaemon = now + cost + nd.daemonInterval
+	return cost
+}
+
+// finalize computes the run-level aggregates.
+func (m *Machine) finalize() {
+	var max int64
+	for _, nd := range m.nodes {
+		if nd.st.FinishTime > max {
+			max = nd.st.FinishTime
+		}
+		nd.st.ThrashEvents = nd.pol.ThrashEvents()
+	}
+	m.st.ExecTime = max
+	m.st.RemotePages, m.st.RelocatedPages = m.dir.Table6()
+}
+
+// Stats returns the machine's statistics (valid after Run).
+func (m *Machine) Stats() *stats.Machine { return m.st }
+
+// Directory exposes the coherence directory for tests and probes.
+func (m *Machine) Directory() *directory.Directory { return m.dir }
+
+// NodeVM exposes node i's VM state for tests and probes.
+func (m *Machine) NodeVM(i int) *vm.VM { return m.nodes[i].vmm }
+
+// NodePolicy exposes node i's policy for tests and probes.
+func (m *Machine) NodePolicy(i int) core.Policy { return m.nodes[i].pol }
+
+// takeSample records one adaptation-timeline point for node 0.
+func (m *Machine) takeSample(nd *node, now int64) {
+	m.samples = append(m.samples, Sample{
+		Time:       now,
+		Threshold:  nd.pol.Threshold(),
+		FreePages:  nd.vmm.Free(),
+		SComaPages: nd.vmm.SComaPages(),
+		Upgrades:   nd.st.Upgrades,
+		Downgrades: nd.st.Downgrades,
+		Thrash:     nd.pol.ThrashEvents(),
+		KOverhead:  nd.st.Time[stats.KOverhead],
+	})
+	m.nextSample = now + m.cfg.SampleInterval
+}
+
+// Samples returns the adaptation timeline recorded for node 0 (empty
+// unless Config.SampleInterval was set).
+func (m *Machine) Samples() []Sample { return m.samples }
+
+// Utilization returns per-node busy cycles of the contended resources
+// (bus, memory banks, directory controller, network input port) for
+// capacity analysis and tests.
+func (m *Machine) Utilization(i int) (busBusy, memBusy, dirBusy, portBusy int64) {
+	nd := m.nodes[i]
+	return nd.bus.Busy(), nd.mem.Busy(), nd.dir.Busy, m.net.PortBusy(i)
+}

@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"ascoma/internal/params"
+	"ascoma/internal/workload"
+)
+
+// TestTortureRandomConfigurations drives randomized (architecture,
+// workload, pressure, machine-parameter) combinations under the coherence
+// checker and verifies the global invariants on every run:
+//
+//   - the run completes (no deadlock, no panic),
+//   - no stale cached data is ever observed (checker),
+//   - every cycle of each node's finish time is attributed to a category,
+//   - miss counts never exceed reference counts,
+//   - the free page pool never goes negative.
+func TestTortureRandomConfigurations(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	apps := []string{"uniform", "hotcold", "stream", "mismatch"}
+	archs := append(params.AllArchs(), params.MIGNUMA)
+
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	for i := 0; i < n; i++ {
+		app := apps[rng.Intn(len(apps))]
+		arch := archs[rng.Intn(len(archs))]
+		pressure := 5 + rng.Intn(94)
+
+		p := params.Default()
+		// Randomize the knobs that change protocol behaviour.
+		p.RACEntries = rng.Intn(4)
+		p.RefetchThreshold = 1 << uint(2+rng.Intn(6)) // 4..128
+		p.ThresholdIncrement = 1 + rng.Intn(16)
+		p.MemBanks = 1 + rng.Intn(8)
+		p.L1Bytes = 1024 << uint(rng.Intn(4)) // 1K..8K
+		p.DaemonInterval = int64(10_000 * (1 + rng.Intn(20)))
+		p.FreeMinPct = 1 + rng.Intn(5)
+		p.FreeTargetPct = p.FreeMinPct + rng.Intn(10)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("case %d: generated invalid params: %v", i, err)
+		}
+
+		gen, err := workload.New(app, 16+rng.Intn(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(Config{
+			Arch:           arch,
+			Pressure:       pressure,
+			Params:         p,
+			CheckCoherence: true,
+			MaxCycles:      1 << 42,
+		}, gen)
+		if err != nil {
+			t.Fatalf("case %d (%s/%v/%d%%): %v", i, app, arch, pressure, err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("case %d (%s/%v/%d%% rac=%d th=%d l1=%d): %v",
+				i, app, arch, pressure, p.RACEntries, p.RefetchThreshold, p.L1Bytes, err)
+		}
+		for j := range st.Nodes {
+			nd := &st.Nodes[j]
+			if nd.TotalTime() != nd.FinishTime {
+				t.Fatalf("case %d node %d: time categories %d != finish %d",
+					i, j, nd.TotalTime(), nd.FinishTime)
+			}
+			if nd.TotalMisses() > nd.SharedRefs {
+				t.Fatalf("case %d node %d: misses %d > shared refs %d",
+					i, j, nd.TotalMisses(), nd.SharedRefs)
+			}
+			if free := m.NodeVM(j).Free(); free < 0 {
+				t.Fatalf("case %d node %d: negative free pool %d", i, j, free)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package model implements the paper's analytic cost model of remote
+// memory overhead (Section 2, Table 1, and relations (1)-(5)):
+//
+//	overhead = (Npagecache x Tpagecache) + (Nremote x Tremote)
+//	         + (Ncold x Tremote) + Toverhead
+//
+// where Npagecache and Nremote are conflict misses satisfied by the page
+// cache or remote memory, Ncold are cold misses (including those induced
+// by flushing and remapping pages), and Toverhead is the software cost of
+// page remapping. The model's purpose in the paper is qualitative — it
+// motivates AS-COMA's two improvements — and its purpose here is
+// validation: Evaluate computes the model from a simulation's measured
+// counts, and Compare checks the relations the paper derives between
+// architectures.
+package model
+
+import (
+	"fmt"
+
+	"ascoma/internal/params"
+	"ascoma/internal/stats"
+)
+
+// Terms are the inputs of the Table 1 overhead model, extracted from a run.
+type Terms struct {
+	Arch         string
+	Npagecache   int64 // misses satisfied by the local page cache
+	Nremote      int64 // conflict/capacity misses satisfied remotely
+	Ncold        int64 // cold misses satisfied remotely (incl. induced)
+	NcoldInduced int64 // the remap-induced subset of Ncold
+	Nrac         int64 // misses satisfied by the RAC (an implementation
+	// refinement the paper's model folds into Nremote avoidance)
+	Toverhead int64 // kernel cycles spent remapping/flushing/daemon
+
+	Tpagecache int64 // latency of a page-cache access
+	Tremote    int64 // minimum latency of a remote access
+	Trac       int64 // latency of a RAC hit
+}
+
+// Extract pulls the model terms out of a finished run.
+func Extract(m *stats.Machine, p *params.Params) Terms {
+	misses := m.SumMisses()
+	times := m.SumTime()
+	return Terms{
+		Arch:         m.Arch,
+		Npagecache:   misses[stats.SComa],
+		Nremote:      misses[stats.ConfCapc],
+		Ncold:        misses[stats.Cold],
+		NcoldInduced: m.Counter(func(n *stats.Node) int64 { return n.InducedCold }),
+		Nrac:         misses[stats.RAC],
+		Toverhead:    times[stats.KOverhead],
+		Tpagecache:   p.BusCycles + p.LocalMemCycles,
+		Tremote:      p.RemoteMemCycles(),
+		Trac:         p.RACHitCycles,
+	}
+}
+
+// Overhead evaluates the Table 1 remote-overhead expression in cycles.
+// The RAC term is added for this implementation's refinement: RAC hits
+// would otherwise be remote misses.
+func (t Terms) Overhead() int64 {
+	return t.Npagecache*t.Tpagecache +
+		(t.Nremote+t.Ncold)*t.Tremote +
+		t.Nrac*t.Trac +
+		t.Toverhead
+}
+
+// RemoteMisses returns Nremote + Ncold, the misses that crossed the
+// network.
+func (t Terms) RemoteMisses() int64 { return t.Nremote + t.Ncold }
+
+// String renders the terms compactly.
+func (t Terms) String() string {
+	return fmt.Sprintf("%s: Npc=%d Nrem=%d Ncold=%d(induced %d) Nrac=%d Tov=%d => overhead %d cycles",
+		t.Arch, t.Npagecache, t.Nremote, t.Ncold, t.NcoldInduced, t.Nrac, t.Toverhead, t.Overhead())
+}
+
+// Relations evaluates the paper's Section 2.4 relations between a hybrid
+// architecture and pure S-COMA or CC-NUMA under a given memory-pressure
+// regime. Each check returns nil if the relation holds.
+//
+// Low memory pressure (relations (1)-(3)): relative to S-COMA, a hybrid
+// that starts pages in CC-NUMA mode suffers extra initial remote misses
+// and pays remapping overhead, and satisfies fewer misses from the page
+// cache:
+//
+//	(1) Nremote_hybrid + Ncold_hybrid - Ncold_scoma >= 0
+//	(2) Toverhead_hybrid - Toverhead_scoma >= 0
+//	(3) Npagecache_scoma >= Npagecache_hybrid
+//
+// High memory pressure (relations (4)-(5)): a thrashing hybrid performs
+// at least as many remote operations as CC-NUMA, plus kernel overhead:
+//
+//	(4) Nremote_hybrid + Ncold_hybrid >= Nremote_ccnuma (approximately)
+//	(5) Toverhead_hybrid - Toverhead_ccnuma >= 0
+type Relations struct {
+	Hybrid, SComa, CCNUMA Terms
+}
+
+// CheckLowPressure verifies relations (1)-(3). slack is the tolerated
+// violation as a fraction of the reference quantity (the relations are
+// derived for an idealized machine).
+func (r Relations) CheckLowPressure(slack float64) error {
+	extra := r.Hybrid.Nremote + r.Hybrid.Ncold - r.SComa.Ncold
+	if float64(extra) < -slack*float64(r.SComa.Ncold+1) {
+		return fmt.Errorf("relation (1) violated: hybrid extra remote misses = %d", extra)
+	}
+	if r.Hybrid.Toverhead < r.SComa.Toverhead &&
+		float64(r.SComa.Toverhead-r.Hybrid.Toverhead) > slack*float64(r.SComa.Toverhead+1) {
+		return fmt.Errorf("relation (2) violated: hybrid Toverhead %d < scoma %d",
+			r.Hybrid.Toverhead, r.SComa.Toverhead)
+	}
+	if float64(r.SComa.Npagecache) < (1-slack)*float64(r.Hybrid.Npagecache) {
+		return fmt.Errorf("relation (3) violated: scoma page-cache hits %d < hybrid %d",
+			r.SComa.Npagecache, r.Hybrid.Npagecache)
+	}
+	return nil
+}
+
+// CheckHighPressure verifies relations (4)-(5).
+func (r Relations) CheckHighPressure(slack float64) error {
+	lhs := float64(r.Hybrid.Nremote + r.Hybrid.Ncold + r.Hybrid.Npagecache)
+	rhs := float64(r.CCNUMA.Nremote + r.CCNUMA.Ncold)
+	if lhs < (1-slack)*rhs {
+		return fmt.Errorf("relation (4) violated: hybrid remote+cached misses %.0f << ccnuma remote %.0f", lhs, rhs)
+	}
+	if r.Hybrid.Toverhead < r.CCNUMA.Toverhead {
+		return fmt.Errorf("relation (5) violated: hybrid Toverhead %d < ccnuma %d",
+			r.Hybrid.Toverhead, r.CCNUMA.Toverhead)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"ascoma/internal/machine"
+	"ascoma/internal/params"
+	"ascoma/internal/stats"
+	"ascoma/internal/workload"
+)
+
+func runArch(t *testing.T, arch params.Arch, app string, pressure int) *stats.Machine {
+	t.Helper()
+	gen, err := workload.New(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{Arch: arch, Pressure: pressure}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestOverheadArithmetic(t *testing.T) {
+	terms := Terms{
+		Npagecache: 10, Tpagecache: 57,
+		Nremote: 5, Ncold: 5, Tremote: 145,
+		Nrac: 2, Trac: 26,
+		Toverhead: 1000,
+	}
+	want := int64(10*57 + 10*145 + 2*26 + 1000)
+	if got := terms.Overhead(); got != want {
+		t.Errorf("Overhead = %d, want %d", got, want)
+	}
+	if terms.RemoteMisses() != 10 {
+		t.Errorf("RemoteMisses = %d", terms.RemoteMisses())
+	}
+	if !strings.Contains(terms.String(), "Npc=10") {
+		t.Error("String missing terms")
+	}
+}
+
+func TestExtractFromRun(t *testing.T) {
+	p := params.Default()
+	st := runArch(t, params.SCOMA, "hotcold", 10)
+	terms := Extract(st, &p)
+	if terms.Npagecache == 0 {
+		t.Error("S-COMA run extracted no page-cache hits")
+	}
+	if terms.Ncold == 0 {
+		t.Error("no cold misses extracted")
+	}
+	if terms.Overhead() <= 0 {
+		t.Error("non-positive overhead")
+	}
+
+	cc := Extract(runArch(t, params.CCNUMA, "hotcold", 10), &p)
+	if cc.Npagecache != 0 || cc.Toverhead != 0 {
+		t.Error("CC-NUMA terms include page-cache hits or kernel overhead")
+	}
+	if cc.Nremote == 0 {
+		t.Error("CC-NUMA run extracted no remote conflict misses")
+	}
+}
+
+// TestLowPressureRelations validates relations (1)-(3) on live runs: at
+// low pressure the hybrid (R-NUMA) pays initial refetches and remap
+// overhead relative to pure S-COMA and caches no more than it.
+func TestLowPressureRelations(t *testing.T) {
+	p := params.Default()
+	r := Relations{
+		Hybrid: Extract(runArch(t, params.RNUMA, "hotcold", 10), &p),
+		SComa:  Extract(runArch(t, params.SCOMA, "hotcold", 10), &p),
+		CCNUMA: Extract(runArch(t, params.CCNUMA, "hotcold", 10), &p),
+	}
+	if err := r.CheckLowPressure(0.1); err != nil {
+		t.Errorf("low-pressure relations: %v", err)
+	}
+}
+
+// TestHighPressureRelations validates relations (4)-(5): a thrashing
+// hybrid does at least CC-NUMA's remote work plus kernel overhead.
+func TestHighPressureRelations(t *testing.T) {
+	p := params.Default()
+	r := Relations{
+		Hybrid: Extract(runArch(t, params.RNUMA, "uniform", 90), &p),
+		SComa:  Extract(runArch(t, params.SCOMA, "uniform", 90), &p),
+		CCNUMA: Extract(runArch(t, params.CCNUMA, "uniform", 90), &p),
+	}
+	if err := r.CheckHighPressure(0.15); err != nil {
+		t.Errorf("high-pressure relations: %v", err)
+	}
+}
+
+// TestModelTracksSimulation: the analytic overhead must rank the
+// architectures the same way the simulated execution times do on a
+// memory-bound workload.
+func TestModelTracksSimulation(t *testing.T) {
+	p := params.Default()
+	type entry struct {
+		arch     params.Arch
+		overhead int64
+		exec     int64
+	}
+	var rows []entry
+	for _, a := range []params.Arch{params.CCNUMA, params.SCOMA, params.ASCOMA} {
+		st := runArch(t, a, "uniform", 70)
+		rows = append(rows, entry{a, Extract(st, &p).Overhead(), st.ExecTime})
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			modelSays := rows[i].overhead < rows[j].overhead
+			simSays := rows[i].exec < rows[j].exec
+			if modelSays != simSays {
+				t.Errorf("model and simulation disagree on %v vs %v: overhead %d vs %d, exec %d vs %d",
+					rows[i].arch, rows[j].arch, rows[i].overhead, rows[j].overhead, rows[i].exec, rows[j].exec)
+			}
+		}
+	}
+}
+
+func TestRelationViolationsDetected(t *testing.T) {
+	// Construct terms that break each relation and check they're caught.
+	good := Terms{Npagecache: 100, Nremote: 50, Ncold: 20, Toverhead: 1000}
+	r := Relations{
+		Hybrid: good,
+		SComa:  Terms{Npagecache: 120, Ncold: 1000, Toverhead: 5000},
+		CCNUMA: Terms{Nremote: 60},
+	}
+	// Hybrid has far fewer remote+cold than S-COMA's colds: violates (1).
+	if err := r.CheckLowPressure(0.0); err == nil {
+		t.Error("relation (1) violation not detected")
+	}
+	// High pressure: hybrid doing a tiny fraction of CC-NUMA's remote
+	// work violates (4).
+	r2 := Relations{
+		Hybrid: Terms{Nremote: 1},
+		CCNUMA: Terms{Nremote: 1000},
+	}
+	if err := r2.CheckHighPressure(0.1); err == nil {
+		t.Error("relation (4) violation not detected")
+	}
+	// Hybrid with less overhead than CC-NUMA (impossible: CC-NUMA has
+	// none) — construct the inverse to violate (5).
+	r3 := Relations{
+		Hybrid: Terms{Nremote: 2000, Toverhead: 0},
+		CCNUMA: Terms{Nremote: 1000, Toverhead: 500},
+	}
+	if err := r3.CheckHighPressure(0.1); err == nil {
+		t.Error("relation (5) violation not detected")
+	}
+}

@@ -1,0 +1,162 @@
+package params
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesPaperConfiguration(t *testing.T) {
+	p := Default()
+	if p.Nodes != 8 {
+		t.Errorf("Nodes = %d, want 8", p.Nodes)
+	}
+	if p.L1Bytes != 8*1024 {
+		t.Errorf("L1Bytes = %d, want 8K (Table 3)", p.L1Bytes)
+	}
+	if p.L1HitCycles != 1 {
+		t.Errorf("L1HitCycles = %d, want 1 (Table 4)", p.L1HitCycles)
+	}
+	if p.RACEntries != 1 {
+		t.Errorf("RACEntries = %d, want 1 (single 128-byte RAC)", p.RACEntries)
+	}
+	if p.RefetchThreshold != 32 {
+		t.Errorf("RefetchThreshold = %d, want 32", p.RefetchThreshold)
+	}
+	if p.FreeMinPct != 2 || p.FreeTargetPct != 7 {
+		t.Errorf("free_min/free_target = %d%%/%d%%, want 2%%/7%%", p.FreeMinPct, p.FreeTargetPct)
+	}
+}
+
+func TestDerivedUnitConstants(t *testing.T) {
+	if LinesPerBlock != 4 {
+		t.Errorf("LinesPerBlock = %d, want 4 (128-byte / 4-line DSM chunks)", LinesPerBlock)
+	}
+	if BlocksPerPage != 32 {
+		t.Errorf("BlocksPerPage = %d, want 32", BlocksPerPage)
+	}
+	if LinesPerPage != 128 {
+		t.Errorf("LinesPerPage = %d, want 128", LinesPerPage)
+	}
+	if 1<<PageShift != PageSize || 1<<LineShift != LineSize || 1<<BlockShift != BlockSize {
+		t.Error("shift constants disagree with sizes")
+	}
+}
+
+func TestRemoteToLocalRatio(t *testing.T) {
+	// "The remote to local memory access ratio is about 3:1."
+	p := Default()
+	ratio := float64(p.RemoteMemCycles()) / float64(p.LocalMemCycles)
+	if ratio < 2.0 || ratio > 4.0 {
+		t.Errorf("remote:local = %.2f, want about 3:1", ratio)
+	}
+}
+
+func TestL1Lines(t *testing.T) {
+	p := Default()
+	if got := p.L1Lines(); got != 256 {
+		t.Errorf("L1Lines = %d, want 256 (8KB / 32B)", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero nodes", func(p *Params) { p.Nodes = 0 }},
+		{"too many nodes", func(p *Params) { p.Nodes = 65 }},
+		{"tiny L1", func(p *Params) { p.L1Bytes = 16 }},
+		{"non-power-of-two L1", func(p *Params) { p.L1Bytes = 96 }},
+		{"negative RAC", func(p *Params) { p.RACEntries = -1 }},
+		{"zero banks", func(p *Params) { p.MemBanks = 0 }},
+		{"zero latency", func(p *Params) { p.LocalMemCycles = 0 }},
+		{"free thresholds inverted", func(p *Params) { p.FreeMinPct = 9; p.FreeTargetPct = 3 }},
+		{"free target over 100", func(p *Params) { p.FreeTargetPct = 150 }},
+		{"zero threshold", func(p *Params) { p.RefetchThreshold = 0 }},
+		{"zero increment", func(p *Params) { p.ThresholdIncrement = 0 }},
+		{"max below threshold", func(p *Params) { p.ThresholdMax = 1 }},
+		{"zero break-even", func(p *Params) { p.VCBreakEven = 0 }},
+		{"negative vc cap", func(p *Params) { p.VCThresholdCap = -1 }},
+		{"zero daemon interval", func(p *Params) { p.DaemonInterval = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := Default()
+			c.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	cases := map[string]Arch{
+		"ccnuma":  CCNUMA,
+		"CC-NUMA": CCNUMA,
+		"numa":    CCNUMA,
+		"scoma":   SCOMA,
+		"S-COMA":  SCOMA,
+		"coma":    SCOMA,
+		"rnuma":   RNUMA,
+		"R-NUMA":  RNUMA,
+		"vc_numa": VCNUMA,
+		"VC-NUMA": VCNUMA,
+		"ascoma":  ASCOMA,
+		"AS-COMA": ASCOMA,
+		"as coma": ASCOMA,
+	}
+	for s, want := range cases {
+		got, err := ParseArch(s)
+		if err != nil {
+			t.Errorf("ParseArch(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseArch(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if _, err := ParseArch("bogus"); err == nil {
+		t.Error("ParseArch accepted bogus name")
+	}
+	if _, err := ParseArch(""); err == nil {
+		t.Error("ParseArch accepted empty name")
+	}
+}
+
+func TestArchStringRoundTrip(t *testing.T) {
+	for _, a := range AllArchs() {
+		s := a.String()
+		if strings.Contains(s, "Arch(") {
+			t.Errorf("missing name for arch %d", int(a))
+		}
+		back, err := ParseArch(s)
+		if err != nil || back != a {
+			t.Errorf("round trip %v -> %q -> %v (%v)", a, s, back, err)
+		}
+	}
+	if got := Arch(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown arch String = %q", got)
+	}
+}
+
+func TestAllArchsCoversFive(t *testing.T) {
+	archs := AllArchs()
+	if len(archs) != 5 {
+		t.Fatalf("AllArchs returned %d architectures, want 5", len(archs))
+	}
+	seen := map[Arch]bool{}
+	for _, a := range archs {
+		if seen[a] {
+			t.Errorf("duplicate arch %v", a)
+		}
+		seen[a] = true
+	}
+}

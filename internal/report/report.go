@@ -1,0 +1,292 @@
+// Package report generates the paper's evaluation artifacts — the Figure
+// 2/3 grids (relative execution time and miss classification), Tables 5
+// and 6, and the extension studies (threshold/RAC/machine-size
+// sensitivity) — as text tables, paper-style stacked bar charts, or CSV.
+// The cmd/sweep tool is a thin flag wrapper around this package.
+package report
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"ascoma"
+	"ascoma/internal/stats"
+	"ascoma/internal/workload"
+)
+
+// Options configures report generation.
+type Options struct {
+	// Scale is the problem-size divisor (1 = paper scale).
+	Scale int
+	// Pressures is the memory-pressure grid (default 10,30,50,70,90).
+	Pressures []int
+	// Format selects the rendering: "table" (default), "chart", "csv".
+	Format string
+	// Jobs bounds parallel simulations (default NumCPU).
+	Jobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if len(o.Pressures) == 0 {
+		o.Pressures = []int{10, 30, 50, 70, 90}
+	}
+	if o.Format == "" {
+		o.Format = "table"
+	}
+	if o.Jobs < 1 {
+		o.Jobs = runtime.NumCPU()
+	}
+	return o
+}
+
+// FigureApps returns the applications of the given figure (2 or 3); any
+// other value returns all six in paper order.
+func FigureApps(fig int) []string {
+	switch fig {
+	case 2:
+		return []string{"barnes", "em3d", "fft"}
+	case 3:
+		return []string{"lu", "ocean", "radix"}
+	}
+	return []string{"barnes", "em3d", "fft", "lu", "ocean", "radix"}
+}
+
+type runKey struct {
+	arch     ascoma.Arch
+	pressure int
+}
+
+// runGrid executes the architecture x pressure grid for one application in
+// parallel. CC-NUMA runs once (it is pressure-insensitive).
+func runGrid(app string, o Options) (map[runKey]*ascoma.Result, error) {
+	keys := []runKey{{ascoma.CCNUMA, 50}}
+	for _, a := range []ascoma.Arch{ascoma.SCOMA, ascoma.ASCOMA, ascoma.VCNUMA, ascoma.RNUMA} {
+		for _, p := range o.Pressures {
+			keys = append(keys, runKey{a, p})
+		}
+	}
+	results := make(map[runKey]*ascoma.Result, len(keys))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	sem := make(chan struct{}, o.Jobs)
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k runKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := ascoma.Run(ascoma.Config{
+				Arch: k.arch, Workload: app, Pressure: k.pressure, Scale: o.Scale,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s %v(%d%%): %w", app, k.arch, k.pressure, err)
+				}
+				return
+			}
+			results[k] = res
+		}(k)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// gridRows iterates the grid in the paper's presentation order.
+func gridRows(results map[runKey]*ascoma.Result, pressures []int, f func(label string, r *ascoma.Result)) {
+	f("CCNUMA", results[runKey{ascoma.CCNUMA, 50}])
+	for _, a := range []ascoma.Arch{ascoma.SCOMA, ascoma.ASCOMA, ascoma.VCNUMA, ascoma.RNUMA} {
+		for _, p := range pressures {
+			if r := results[runKey{a, p}]; r != nil {
+				f(fmt.Sprintf("%v(%d%%)", a, p), r)
+			}
+		}
+	}
+}
+
+// Figure renders one application's Figure 2/3 panel (left: relative
+// execution-time breakdown; right: miss classification).
+func Figure(w io.Writer, app string, o Options) error {
+	o = o.withDefaults()
+	results, err := runGrid(app, o)
+	if err != nil {
+		return err
+	}
+	base := results[runKey{ascoma.CCNUMA, 50}]
+	if base == nil {
+		return fmt.Errorf("report: no baseline result for %s", app)
+	}
+	if o.Format == "chart" {
+		return figureChart(w, app, results, base, o)
+	}
+
+	left := &stats.Table{Header: []string{"config", "total", "U-SH-MEM", "K-BASE", "K-OVERHD", "U-INSTR", "U-LC-MEM", "SYNC"}}
+	right := &stats.Table{Header: []string{"config", "misses", "HOME%", "SCOMA%", "RAC%", "COLD%", "CONF/CAPC%"}}
+	gridRows(results, o.Pressures, func(label string, r *ascoma.Result) {
+		t := r.SumTime()
+		var sum int64
+		for _, v := range t {
+			sum += v
+		}
+		rel := float64(r.ExecTime) / float64(base.ExecTime)
+		frac := func(c stats.TimeCat) string {
+			if sum == 0 {
+				return f2(0)
+			}
+			return f2(float64(t[c]) / float64(sum) * rel)
+		}
+		left.AddRow(label, f2(rel), frac(stats.UShMem), frac(stats.KBase),
+			frac(stats.KOverhead), frac(stats.UInstr), frac(stats.ULcMem), frac(stats.Sync))
+		m := r.SumMisses()
+		var msum int64
+		for _, v := range m {
+			msum += v
+		}
+		right.AddRow(label, msum,
+			f1(pct(m[stats.Home], msum)), f1(pct(m[stats.SComa], msum)),
+			f1(pct(m[stats.RAC], msum)), f1(pct(m[stats.Cold], msum)),
+			f1(pct(m[stats.ConfCapc], msum)))
+	})
+
+	if o.Format == "csv" {
+		io.WriteString(w, left.CSV())
+		io.WriteString(w, right.CSV())
+		return nil
+	}
+	fmt.Fprintf(w, "== %s: relative execution time (CC-NUMA = 1.00) ==\n", app)
+	io.WriteString(w, left.String())
+	fmt.Fprintf(w, "-- %s: where shared misses were satisfied --\n", app)
+	io.WriteString(w, right.String())
+	fmt.Fprintln(w)
+	return nil
+}
+
+// figureChart renders the paper-style stacked bars.
+func figureChart(w io.Writer, app string, results map[runKey]*ascoma.Result, base *ascoma.Result, o Options) error {
+	left := &stats.Chart{Title: fmt.Sprintf("== %s: relative execution time (|%s|) ==", app, stats.TimeLegend())}
+	right := &stats.Chart{Title: fmt.Sprintf("-- %s: where shared misses were satisfied (|%s|) --", app, stats.MissLegend())}
+	gridRows(results, o.Pressures, func(label string, r *ascoma.Result) {
+		t := r.SumTime()
+		var sum int64
+		for _, v := range t {
+			sum += v
+		}
+		rel := float64(r.ExecTime) / float64(base.ExecTime)
+		scaled := t
+		if sum > 0 {
+			for i := range scaled {
+				scaled[i] = int64(float64(t[i]) / float64(sum) * rel * 1e6)
+			}
+		}
+		left.AddTimeBar(label, scaled, 1e6)
+		right.AddMissBar(label, r.SumMisses())
+	})
+	io.WriteString(w, left.String())
+	fmt.Fprintln(w)
+	io.WriteString(w, right.String())
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Table5 renders the workload inventory (programs, home pages, maximum
+// remote pages, ideal memory pressure).
+func Table5(w io.Writer, apps []string, o Options) error {
+	o = o.withDefaults()
+	t := &stats.Table{Header: []string{"program", "nodes", "home pages/node", "max remote pages", "ideal pressure"}}
+	for _, a := range apps {
+		gen, err := workload.New(a, o.Scale)
+		if err != nil {
+			return err
+		}
+		res, err := ascoma.Run(ascoma.Config{Arch: ascoma.SCOMA, Workload: a, Pressure: 5, Scale: o.Scale})
+		if err != nil {
+			return err
+		}
+		var maxRemote int64
+		for i := range res.Nodes {
+			if r := res.Nodes[i].RemotePagesSeen; r > maxRemote {
+				maxRemote = r
+			}
+		}
+		resident := gen.HomePagesPerNode() + gen.PrivatePagesPerNode()
+		ideal := 100 * float64(resident) / float64(resident+int(maxRemote))
+		t.AddRow(a, gen.Nodes(), gen.HomePagesPerNode(), maxRemote, fmt.Sprintf("%.0f%%", ideal))
+	}
+	return render(w, t, o)
+}
+
+// Table6 renders the remote-vs-relocated page counts.
+func Table6(w io.Writer, apps []string, o Options) error {
+	o = o.withDefaults()
+	t := &stats.Table{Header: []string{"program", "total remote pages", "relocated pages", "% relocated"}}
+	for _, a := range apps {
+		res, err := ascoma.Run(ascoma.Config{Arch: ascoma.CCNUMA, Workload: a, Pressure: 10, Scale: o.Scale})
+		if err != nil {
+			return err
+		}
+		pctRel := 0.0
+		if res.RemotePages > 0 {
+			pctRel = 100 * float64(res.RelocatedPages) / float64(res.RemotePages)
+		}
+		t.AddRow(a, res.RemotePages, res.RelocatedPages, f1(pctRel))
+	}
+	return render(w, t, o)
+}
+
+func render(w io.Writer, t *stats.Table, o Options) error {
+	if o.Format == "csv" {
+		_, err := io.WriteString(w, t.CSV())
+		return err
+	}
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// ParsePressures converts "10,30,90" into a sorted, validated slice.
+func ParsePressures(s string) ([]int, error) {
+	var out []int
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ',' {
+			continue
+		}
+		field := s[start:i]
+		start = i + 1
+		v, err := strconv.Atoi(trimSpace(field))
+		if err != nil || v < 1 || v > 99 {
+			return nil, fmt.Errorf("report: bad pressure %q", field)
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func pct(v, sum int64) float64 {
+	if sum == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(sum)
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }

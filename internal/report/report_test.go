@@ -1,0 +1,196 @@
+package report
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var testOpts = Options{Scale: 16, Pressures: []int{10, 90}, Jobs: 4}
+
+func TestFigureTableStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure(&buf, "uniform", testOpts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"uniform: relative execution time",
+		"where shared misses were satisfied",
+		"CCNUMA", "S-COMA(10%)", "AS-COMA(90%)", "R-NUMA(90%)",
+		"U-SH-MEM", "CONF/CAPC%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+	// The CC-NUMA baseline row must read 1.00.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "CCNUMA") {
+			if !strings.Contains(line, "1.00") {
+				t.Errorf("baseline row not normalized: %q", line)
+			}
+			break
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	var buf bytes.Buffer
+	o := testOpts
+	o.Format = "csv"
+	if err := Figure(&buf, "stream", o); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Two CSV tables: each 1 header + 9 rows (CCNUMA + 4 archs x 2 pressures).
+	if len(lines) != 2*(1+9) {
+		t.Fatalf("csv line count = %d, want 20", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "config,total,") {
+		t.Errorf("csv header: %q", lines[0])
+	}
+	// Every data row of the first table parses.
+	for _, l := range lines[1:10] {
+		fields := strings.Split(l, ",")
+		if len(fields) != 8 {
+			t.Fatalf("csv row has %d fields: %q", len(fields), l)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("total not numeric in %q", l)
+		}
+	}
+}
+
+func TestFigureChart(t *testing.T) {
+	var buf bytes.Buffer
+	o := testOpts
+	o.Format = "chart"
+	if err := Figure(&buf, "uniform", o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "|") || !strings.Contains(out, "#") {
+		t.Error("chart output has no bars")
+	}
+	if !strings.Contains(out, "U-SH-MEM") {
+		t.Error("chart legend missing")
+	}
+}
+
+func TestFigureUnknownApp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure(&buf, "nonexistent", testOpts); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestTable5Structure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table5(&buf, []string{"uniform", "stream"}, testOpts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ideal pressure") || !strings.Contains(out, "uniform") {
+		t.Errorf("table 5 output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Errorf("table 5 has %d lines", len(lines))
+	}
+}
+
+func TestTable6Structure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table6(&buf, []string{"hotcold"}, testOpts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "relocated pages") {
+		t.Errorf("table 6 output:\n%s", buf.String())
+	}
+}
+
+func TestSensitivityNodesStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SensitivityNodes(&buf, Options{Scale: 16}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, nodes := range []string{"4 ", "8 ", "16", "32"} {
+		if !strings.Contains(out, nodes) {
+			t.Errorf("scaling study missing %s-node row:\n%s", nodes, out)
+		}
+	}
+}
+
+func TestFigureApps(t *testing.T) {
+	if got := FigureApps(2); len(got) != 3 || got[0] != "barnes" {
+		t.Errorf("FigureApps(2) = %v", got)
+	}
+	if got := FigureApps(3); len(got) != 3 || got[2] != "radix" {
+		t.Errorf("FigureApps(3) = %v", got)
+	}
+	if got := FigureApps(0); len(got) != 6 {
+		t.Errorf("FigureApps(0) = %v", got)
+	}
+}
+
+func TestParsePressures(t *testing.T) {
+	got, err := ParsePressures("90, 10,50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[2] != 90 {
+		t.Errorf("ParsePressures = %v", got)
+	}
+	for _, bad := range []string{"", "0", "100", "abc", "10,,20"} {
+		if _, err := ParsePressures(bad); err == nil {
+			t.Errorf("ParsePressures accepted %q", bad)
+		}
+	}
+}
+
+func TestSensitivityThresholdStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SensitivityThreshold(&buf, Options{Scale: 16}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"threshold", "R-NUMA rel", "AS-COMA rel", "256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("threshold study missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSensitivityRACStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SensitivityRAC(&buf, Options{Scale: 16}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "RAC entries") || !strings.Contains(out, "16") {
+		t.Errorf("RAC study output:\n%s", out)
+	}
+}
+
+func TestRenderCSVMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table6(&buf, []string{"stream"}, Options{Scale: 16, Format: "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "program,") {
+		t.Errorf("csv output: %q", buf.String())
+	}
+}
+
+func TestTableErrorsPropagate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table5(&buf, []string{"bogus"}, testOpts); err == nil {
+		t.Error("Table5 accepted unknown app")
+	}
+	if err := Table6(&buf, []string{"bogus"}, testOpts); err == nil {
+		t.Error("Table6 accepted unknown app")
+	}
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestFigureSVGWellFormed(t *testing.T) {
+	var timeBuf, missBuf bytes.Buffer
+	if err := FigureSVG(&timeBuf, &missBuf, "uniform", testOpts); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"time": &timeBuf, "miss": &missBuf} {
+		dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+		rects := 0
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				break
+			}
+			if se, ok := tok.(xml.StartElement); ok && se.Name.Local == "rect" {
+				rects++
+			}
+		}
+		// 9 bars (CCNUMA + 4 archs x 2 pressures) with several segments
+		// each, plus background and legend swatches.
+		if rects < 20 {
+			t.Errorf("%s SVG has only %d rects", name, rects)
+		}
+		if !strings.Contains(buf.String(), "</svg>") {
+			t.Errorf("%s SVG not closed", name)
+		}
+	}
+	if !strings.Contains(timeBuf.String(), "U-SH-MEM") {
+		t.Error("time legend missing")
+	}
+	if !strings.Contains(missBuf.String(), "CONF/CAPC") {
+		t.Error("miss legend missing")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	bars := []svgBar{{label: `a<b>&"c`, parts: []float64{0.5, 0.5}}}
+	if err := writeSVG(&buf, "t<itle>", bars, []string{"#000", "#111"}, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(strings.NewReader(buf.String()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() != "EOF" {
+				t.Fatalf("escaping broke the XML: %v", err)
+			}
+			break
+		}
+	}
+}
+
+func TestSVGZeroSegmentsOmitted(t *testing.T) {
+	var buf bytes.Buffer
+	bars := []svgBar{{label: "z", parts: []float64{0, 1.0, 0}}}
+	if err := writeSVG(&buf, "t", bars, []string{"#a00000", "#0b0000", "#00c000"}, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Only the non-zero segment is drawn as a bar rect (colors appear in
+	// the legend regardless; count bar rects by the bar y coordinate).
+	if strings.Count(out, `fill="#0b0000"`) != 2 { // legend + bar
+		t.Errorf("non-zero segment not drawn:\n%s", out)
+	}
+	if strings.Count(out, `fill="#a00000"`) != 1 { // legend only
+		t.Errorf("zero segment drawn:\n%s", out)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sim provides the discrete-event machinery under the simulator:
+// a cycle clock, an event heap, and occupancy-based resources.
+//
+// Each simulated processor is sequentially consistent with at most one
+// outstanding miss (Table 3 of the paper), so a whole machine needs only one
+// pending event per node plus a handful of daemon timers. A memory operation
+// is resolved atomically at issue time by walking the chain of resources it
+// occupies (bus, network ports, directory, memory banks); each Resource
+// tracks the cycle at which it next becomes free, which reproduces queueing
+// at the paper's contention points with O(1) work per reference.
+package sim
+
+import "container/heap"
+
+// Time is a simulation timestamp in processor cycles (120 MHz in the default
+// configuration).
+type Time = int64
+
+// EventKind distinguishes the small set of event types the machine loop
+// dispatches on.
+type EventKind uint8
+
+const (
+	// EvProc resumes a node's processor (issue the next reference).
+	EvProc EventKind = iota
+	// EvDaemon runs a node's pageout daemon.
+	EvDaemon
+	// EvBarrierRelease releases all nodes waiting at a barrier.
+	EvBarrierRelease
+)
+
+// Event is a scheduled occurrence. Seq breaks time ties deterministically in
+// insertion order so simulations are reproducible run to run.
+type Event struct {
+	Time Time
+	Kind EventKind
+	Node int
+	seq  uint64
+}
+
+// Queue is a deterministic min-heap of events ordered by (Time, seq).
+// The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Push schedules an event.
+func (q *Queue) Push(e Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest event. ok is false when the queue is
+// empty.
+func (q *Queue) Pop() (e Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return heap.Pop(&q.h).(Event), true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue) Peek() (e Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Resource models a unit that can serve one request at a time (a bus, a
+// network input port, a directory controller). Acquire serializes requests:
+// a request arriving at time t starts at max(t, freeAt) and holds the
+// resource for occ cycles. The zero value is a free resource.
+type Resource struct {
+	freeAt Time
+	// Busy accumulates total occupied cycles, for utilization reporting.
+	Busy Time
+}
+
+// Acquire occupies the resource for occ cycles starting no earlier than t.
+// It returns the time at which the occupancy ends (i.e. when the request
+// has passed through the resource).
+func (r *Resource) Acquire(t Time, occ Time) Time {
+	start := t
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + occ
+	r.Busy += occ
+	return r.freeAt
+}
+
+// FreeAt returns the next cycle at which the resource is idle.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Reset returns the resource to the initial idle state.
+func (r *Resource) Reset() { r.freeAt = 0; r.Busy = 0 }
+
+// Banked models a set of interleaved resources (e.g. memory banks); a
+// request selects its bank by address and queues only behind requests to
+// the same bank.
+type Banked struct {
+	banks []Resource
+}
+
+// NewBanked returns a Banked resource with n banks (n >= 1).
+func NewBanked(n int) *Banked {
+	if n < 1 {
+		n = 1
+	}
+	return &Banked{banks: make([]Resource, n)}
+}
+
+// Acquire occupies the bank selected by key for occ cycles starting no
+// earlier than t and returns the completion time.
+func (b *Banked) Acquire(key uint64, t Time, occ Time) Time {
+	return b.banks[key%uint64(len(b.banks))].Acquire(t, occ)
+}
+
+// Busy returns the total occupied cycles summed over banks.
+func (b *Banked) Busy() Time {
+	var total Time
+	for i := range b.banks {
+		total += b.banks[i].Busy
+	}
+	return total
+}

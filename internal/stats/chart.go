@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the paper's stacked horizontal bars in plain text: each
+// configuration becomes one bar whose length is its execution time
+// relative to the baseline and whose segments are the time categories
+// (left-hand figures) or miss classes (right-hand figures).
+type Chart struct {
+	// Title is printed above the bars.
+	Title string
+	// Width is the number of characters representing 1.00 (default 50).
+	Width int
+	rows  []chartRow
+}
+
+type chartRow struct {
+	label string
+	parts []float64 // category values, already normalized to the baseline
+	total float64
+}
+
+// Time-category segment glyphs, in stacking order (matching the paper's
+// legend): U-SH-MEM, K-BASE, K-OVERHD, U-INSTR, U-LC-MEM, SYNC.
+var timeGlyphs = [NumTimeCats]byte{'#', 'B', '!', '=', '.', '~'}
+
+// Miss-class segment glyphs: HOME, SCOMA, RAC, COLD, CONF/CAPC.
+var missGlyphs = [NumMissCats]byte{'h', 's', 'r', 'c', 'X'}
+
+// AddTimeBar appends one configuration's execution-time bar; parts are the
+// per-category cycle counts and base is the baseline total (the CC-NUMA
+// execution time x nodes).
+func (c *Chart) AddTimeBar(label string, parts [NumTimeCats]int64, base int64) {
+	row := chartRow{label: label}
+	for _, v := range parts {
+		f := 0.0
+		if base > 0 {
+			f = float64(v) / float64(base)
+		}
+		row.parts = append(row.parts, f)
+		row.total += f
+	}
+	c.rows = append(c.rows, row)
+}
+
+// AddMissBar appends one configuration's miss-classification bar,
+// normalized so every bar has length 1 (the right-hand charts compare
+// mixes, not magnitudes).
+func (c *Chart) AddMissBar(label string, parts [NumMissCats]int64) {
+	var sum int64
+	for _, v := range parts {
+		sum += v
+	}
+	row := chartRow{label: label}
+	for _, v := range parts {
+		f := 0.0
+		if sum > 0 {
+			f = float64(v) / float64(sum)
+		}
+		row.parts = append(row.parts, f)
+		row.total += f
+	}
+	c.rows = append(c.rows, row)
+}
+
+// TimeLegend returns the glyph legend for time bars.
+func TimeLegend() string {
+	var b strings.Builder
+	for ct := TimeCat(0); ct < NumTimeCats; ct++ {
+		if ct > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", timeGlyphs[ct], ct)
+	}
+	return b.String()
+}
+
+// MissLegend returns the glyph legend for miss bars.
+func MissLegend() string {
+	var b strings.Builder
+	for mc := MissCat(0); mc < NumMissCats; mc++ {
+		if mc > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", missGlyphs[mc], mc)
+	}
+	return b.String()
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	labelW := 0
+	for _, r := range c.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	glyphs := timeGlyphs[:]
+	if len(c.rows) > 0 && len(c.rows[0].parts) == int(NumMissCats) {
+		glyphs = missGlyphs[:]
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, r := range c.rows {
+		fmt.Fprintf(&b, "%-*s |", labelW, r.label)
+		emitted := 0
+		target := 0
+		acc := 0.0
+		for i, f := range r.parts {
+			acc += f
+			target = int(acc*float64(width) + 0.5)
+			for emitted < target {
+				b.WriteByte(glyphs[i])
+				emitted++
+			}
+		}
+		fmt.Fprintf(&b, "| %.2f\n", r.total)
+	}
+	return b.String()
+}

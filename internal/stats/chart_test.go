@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeBarLengthTracksRelativeTime(t *testing.T) {
+	c := &Chart{Width: 40}
+	var base [NumTimeCats]int64
+	base[UShMem] = 100
+	c.AddTimeBar("base", base, 100)
+	var double [NumTimeCats]int64
+	double[UShMem] = 200
+	c.AddTimeBar("slow", double, 100)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	baseHashes := strings.Count(lines[0], "#")
+	slowHashes := strings.Count(lines[1], "#")
+	if baseHashes != 40 {
+		t.Errorf("baseline bar %d glyphs, want 40", baseHashes)
+	}
+	if slowHashes != 80 {
+		t.Errorf("2x bar %d glyphs, want 80", slowHashes)
+	}
+	if !strings.Contains(lines[0], "1.00") || !strings.Contains(lines[1], "2.00") {
+		t.Error("totals missing")
+	}
+}
+
+func TestTimeBarSegments(t *testing.T) {
+	c := &Chart{Width: 10}
+	var parts [NumTimeCats]int64
+	parts[UShMem] = 50
+	parts[KOverhead] = 30
+	parts[Sync] = 20
+	c.AddTimeBar("mix", parts, 100)
+	out := c.String()
+	if strings.Count(out, "#") != 5 || strings.Count(out, "!") != 3 || strings.Count(out, "~") != 2 {
+		t.Errorf("segment mix wrong: %q", out)
+	}
+	// Stacking order: stall before overhead before sync.
+	if strings.Index(out, "#") > strings.Index(out, "!") {
+		t.Error("segments out of stacking order")
+	}
+}
+
+func TestMissBarNormalized(t *testing.T) {
+	c := &Chart{Width: 20}
+	var a [NumMissCats]int64
+	a[Home] = 10
+	a[ConfCapc] = 10
+	c.AddMissBar("even", a)
+	var big [NumMissCats]int64
+	big[Home] = 1000000
+	c.AddMissBar("huge", big)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	bar := func(line string) string {
+		i, j := strings.Index(line, "|"), strings.LastIndex(line, "|")
+		return line[i+1 : j]
+	}
+	// Both bars are the same length: miss bars compare mixes.
+	if len(bar(lines[0])) != 20 || strings.Count(bar(lines[0]), "h") != 10 {
+		t.Errorf("even bar wrong: %q", lines[0])
+	}
+	if strings.Count(bar(lines[1]), "h") != 20 {
+		t.Errorf("huge bar not full width: %q", lines[1])
+	}
+}
+
+func TestChartZeroBase(t *testing.T) {
+	c := &Chart{}
+	var parts [NumTimeCats]int64
+	parts[UShMem] = 5
+	c.AddTimeBar("z", parts, 0)
+	if !strings.Contains(c.String(), "0.00") {
+		t.Error("zero base not handled")
+	}
+}
+
+func TestChartTitleAndLegends(t *testing.T) {
+	c := &Chart{Title: "hello"}
+	var parts [NumTimeCats]int64
+	c.AddTimeBar("x", parts, 1)
+	if !strings.HasPrefix(c.String(), "hello\n") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(TimeLegend(), "U-SH-MEM") || !strings.Contains(TimeLegend(), "#") {
+		t.Error("time legend incomplete")
+	}
+	if !strings.Contains(MissLegend(), "CONF/CAPC") {
+		t.Error("miss legend incomplete")
+	}
+}
+
+func TestChartLabelAlignment(t *testing.T) {
+	c := &Chart{Width: 4}
+	var parts [NumTimeCats]int64
+	parts[UShMem] = 1
+	c.AddTimeBar("short", parts, 1)
+	c.AddTimeBar("a-much-longer-label", parts, 1)
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	if strings.Index(lines[0], "|") != strings.Index(lines[1], "|") {
+		t.Error("bars not aligned")
+	}
+}

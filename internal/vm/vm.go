@@ -1,0 +1,353 @@
+// Package vm models one node's virtual-memory kernel state: the page table,
+// the free page pool with the 4.4BSD-style free_min/free_target thresholds,
+// the S-COMA page cache bookkeeping (per-block valid bits), and the
+// second-chance ("clock") victim selection the pageout daemon uses:
+// "Cold pages are detected using a second chance algorithm: the TLB
+// reference bit associated with each S-COMA page is reset each time it is
+// considered for eviction by the pageout daemon. If the reference bit is
+// zero when the pageout daemon next runs, the page is considered cold."
+package vm
+
+import (
+	"fmt"
+
+	"ascoma/internal/addr"
+	"ascoma/internal/params"
+)
+
+// Mode is the mapping mode of a page at this node.
+type Mode uint8
+
+const (
+	// ModeNone marks an unmapped PTE (never returned by Lookup).
+	ModeNone Mode = iota
+	// ModeHome: the page's home is this node; accesses hit local DRAM.
+	ModeHome
+	// ModePrivate: node-private (non-shared) data; always local.
+	ModePrivate
+	// ModeNUMA: remote page mapped in CC-NUMA mode; misses go remote
+	// (through the RAC).
+	ModeNUMA
+	// ModeSCOMA: remote page backed by a local page-cache page; misses
+	// to valid blocks are satisfied from local DRAM.
+	ModeSCOMA
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeHome:
+		return "home"
+	case ModePrivate:
+		return "private"
+	case ModeNUMA:
+		return "numa"
+	case ModeSCOMA:
+		return "scoma"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// PTE is one node's mapping state for a page.
+type PTE struct {
+	Page addr.Page
+	Mode Mode
+	Home int // the page's home node
+
+	// Valid holds per-block valid bits when Mode == ModeSCOMA ("the valid
+	// bit associated with each cache line in the page is set to invalid
+	// to indicate that, while the page mapping is valid, no remote data
+	// is actually cached in the local page yet").
+	Valid uint32
+
+	// Owned holds per-block ownership bits when Mode == ModeSCOMA: blocks
+	// this node holds in Modified state may absorb writes locally.
+	Owned uint32
+
+	// RefBit is the TLB reference bit used by second chance.
+	RefBit bool
+
+	// SComaHits counts misses satisfied from the page cache since this
+	// page entered S-COMA mode — the savings the page has earned.
+	// VC-NUMA's per-S-COMA-page "local refetch counter" feeds its
+	// break-even thrashing detector from this.
+	SComaHits uint32
+
+	ring int // index in the S-COMA clock ring, -1 if not enrolled
+}
+
+// BlockValid reports whether block index i (0..31) is valid in the page
+// cache.
+func (p *PTE) BlockValid(i int) bool { return p.Valid&(1<<uint(i)) != 0 }
+
+// SetBlockValid marks block index i valid.
+func (p *PTE) SetBlockValid(i int) { p.Valid |= 1 << uint(i) }
+
+// ClearBlockValid invalidates block index i (and drops any ownership).
+func (p *PTE) ClearBlockValid(i int) {
+	p.Valid &^= 1 << uint(i)
+	p.Owned &^= 1 << uint(i)
+}
+
+// BlockOwned reports whether this node owns block index i.
+func (p *PTE) BlockOwned(i int) bool { return p.Owned&(1<<uint(i)) != 0 }
+
+// SetBlockOwned marks block index i owned (Modified here).
+func (p *PTE) SetBlockOwned(i int) { p.Owned |= 1 << uint(i) }
+
+// ClearBlockOwned downgrades block index i to a clean shared copy.
+func (p *PTE) ClearBlockOwned(i int) { p.Owned &^= 1 << uint(i) }
+
+// ValidBlocks returns the number of valid page-cache blocks.
+func (p *PTE) ValidBlocks() int {
+	n := 0
+	for v := p.Valid; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// VM is one node's kernel memory state.
+type VM struct {
+	Node       int
+	TotalPages int // physical pages on this node
+	HomePages  int // pages pinned holding home (and private) data
+	free       int // current free pool size
+
+	freeMin    int
+	freeTarget int
+
+	pt   map[addr.Page]*PTE
+	ring []*PTE // S-COMA pages, scanned by the clock hand
+	hand int
+}
+
+// New builds a node VM with the given physical page count and thresholds
+// expressed as percentages of total memory.
+func New(node, totalPages, freeMinPct, freeTargetPct int) *VM {
+	v := &VM{
+		Node:       node,
+		TotalPages: totalPages,
+		free:       totalPages,
+		freeMin:    totalPages * freeMinPct / 100,
+		freeTarget: totalPages * freeTargetPct / 100,
+		pt:         make(map[addr.Page]*PTE),
+	}
+	if v.freeMin < 1 {
+		v.freeMin = 1
+	}
+	if v.freeTarget < v.freeMin {
+		v.freeTarget = v.freeMin
+	}
+	return v
+}
+
+// ReserveHome pins n pages for home/private data, removing them from the
+// free pool. It returns an error if the node does not have that many free
+// pages.
+func (v *VM) ReserveHome(n int) error {
+	if n > v.free {
+		return fmt.Errorf("vm: node %d cannot reserve %d home pages with %d free", v.Node, n, v.free)
+	}
+	v.HomePages += n
+	v.free -= n
+	return nil
+}
+
+// Free returns the current free pool size.
+func (v *VM) Free() int { return v.free }
+
+// FreeMin returns the free_min threshold in pages.
+func (v *VM) FreeMin() int { return v.freeMin }
+
+// FreeTarget returns the free_target threshold in pages.
+func (v *VM) FreeTarget() int { return v.freeTarget }
+
+// Lookup returns the PTE for page p, or nil if unmapped (page fault).
+func (v *VM) Lookup(p addr.Page) *PTE { return v.pt[p] }
+
+// MapLocal installs a home or private mapping (no page-cache page is
+// consumed: home pages were reserved up front).
+func (v *VM) MapLocal(p addr.Page, mode Mode) *PTE {
+	if mode != ModeHome && mode != ModePrivate {
+		panic("vm: MapLocal requires ModeHome or ModePrivate")
+	}
+	pte := &PTE{Page: p, Mode: mode, Home: v.Node, ring: -1}
+	v.pt[p] = pte
+	return pte
+}
+
+// MapNUMA installs a CC-NUMA mapping of a remote page (no local storage).
+func (v *VM) MapNUMA(p addr.Page, home int) *PTE {
+	pte := &PTE{Page: p, Mode: ModeNUMA, Home: home, ring: -1}
+	v.pt[p] = pte
+	return pte
+}
+
+// MapSCOMA installs an S-COMA mapping backed by a page from the free pool.
+// It fails (returning nil) when the pool is empty; the caller must first
+// evict a victim.
+func (v *VM) MapSCOMA(p addr.Page, home int) *PTE {
+	if v.free == 0 {
+		return nil
+	}
+	v.free--
+	pte := &PTE{Page: p, Mode: ModeSCOMA, Home: home, ring: -1}
+	v.pt[p] = pte
+	v.enroll(pte)
+	return pte
+}
+
+// Upgrade converts an existing CC-NUMA mapping to S-COMA mode, consuming a
+// free page. It fails (returning false) when the pool is empty.
+func (v *VM) Upgrade(pte *PTE) bool {
+	if pte.Mode != ModeNUMA {
+		panic("vm: Upgrade requires a ModeNUMA page")
+	}
+	if v.free == 0 {
+		return false
+	}
+	v.free--
+	pte.Mode = ModeSCOMA
+	pte.Valid = 0
+	pte.Owned = 0
+	pte.SComaHits = 0
+	pte.RefBit = true
+	v.enroll(pte)
+	return true
+}
+
+// Downgrade converts an S-COMA mapping back to CC-NUMA mode ("remapped back
+// to its home global physical address"), returning its page to the free
+// pool. The caller is responsible for the flush side effects.
+func (v *VM) Downgrade(pte *PTE) {
+	if pte.Mode != ModeSCOMA {
+		panic("vm: Downgrade requires a ModeSCOMA page")
+	}
+	v.unenroll(pte)
+	pte.Mode = ModeNUMA
+	pte.Valid = 0
+	pte.Owned = 0
+	pte.SComaHits = 0
+	v.free++
+}
+
+// AdoptHomePage pins one free page to hold a newly migrated-in home page.
+// It fails (returning false) when the pool is empty.
+func (v *VM) AdoptHomePage() bool {
+	if v.free == 0 {
+		return false
+	}
+	v.free--
+	v.HomePages++
+	return true
+}
+
+// ReleaseHomePage frees the physical page of a home page that migrated
+// away.
+func (v *VM) ReleaseHomePage() {
+	v.HomePages--
+	v.free++
+}
+
+// Unmap removes the page's mapping entirely, so the next access faults
+// again. Pure S-COMA uses this after replacing a page: the evicted page has
+// no CC-NUMA fallback mapping and must be re-backed by a local page before
+// it can be accessed again.
+func (v *VM) Unmap(pte *PTE) {
+	if pte.Mode == ModeSCOMA {
+		panic("vm: Unmap of a page still holding a page-cache page (Downgrade first)")
+	}
+	delete(v.pt, pte.Page)
+	pte.Mode = ModeNone
+}
+
+func (v *VM) enroll(pte *PTE) {
+	pte.ring = len(v.ring)
+	v.ring = append(v.ring, pte)
+}
+
+func (v *VM) unenroll(pte *PTE) {
+	i := pte.ring
+	if i < 0 {
+		return
+	}
+	last := len(v.ring) - 1
+	v.ring[i] = v.ring[last]
+	v.ring[i].ring = i
+	v.ring = v.ring[:last]
+	pte.ring = -1
+	if v.hand > last {
+		v.hand = 0
+	}
+}
+
+// SComaPages returns the number of pages currently mapped in S-COMA mode.
+func (v *VM) SComaPages() int { return len(v.ring) }
+
+// ClockScan runs the second-chance hand over at most maxScan S-COMA pages:
+// referenced pages get their bit cleared and are skipped; the first
+// unreferenced page is returned as the victim. scanned reports pages
+// examined (the daemon's work, charged as kernel overhead).
+func (v *VM) ClockScan(maxScan int) (victim *PTE, scanned int) {
+	n := len(v.ring)
+	if n == 0 {
+		return nil, 0
+	}
+	if maxScan > n {
+		maxScan = n
+	}
+	for scanned < maxScan {
+		if v.hand >= len(v.ring) {
+			v.hand = 0
+		}
+		pte := v.ring[v.hand]
+		scanned++
+		if pte.RefBit {
+			pte.RefBit = false
+			v.hand++
+			continue
+		}
+		return pte, scanned
+	}
+	return nil, scanned
+}
+
+// ForceVictim returns the page under the clock hand regardless of its
+// reference bit (clearing bits as it passes, so hot pages still age). Pure
+// S-COMA needs this: a faulting page must be mapped even when every cached
+// page is hot.
+func (v *VM) ForceVictim() *PTE {
+	n := len(v.ring)
+	if n == 0 {
+		return nil
+	}
+	// One second-chance pass, then take whatever the hand points at.
+	for i := 0; i < n; i++ {
+		if v.hand >= len(v.ring) {
+			v.hand = 0
+		}
+		pte := v.ring[v.hand]
+		if pte.RefBit {
+			pte.RefBit = false
+			v.hand++
+			continue
+		}
+		return pte
+	}
+	if v.hand >= len(v.ring) {
+		v.hand = 0
+	}
+	return v.ring[v.hand]
+}
+
+// PageOfBlock returns the PTE covering block b, or nil.
+func (v *VM) PageOfBlock(b addr.Block) *PTE { return v.pt[b.Page()] }
+
+// Pages returns the number of installed mappings (for tests).
+func (v *VM) Pages() int { return len(v.pt) }
+
+// BlocksPerPageMask is the all-valid mask for a page's 32 blocks.
+const BlocksPerPageMask uint32 = 1<<params.BlocksPerPage - 1

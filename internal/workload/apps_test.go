@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"ascoma/internal/addr"
+	"ascoma/internal/params"
+)
+
+// The per-application tests pin the reference-stream characteristics the
+// paper attributes to each program (Section 5, Tables 5-6) — the properties
+// the simulation results depend on. They analyze the streams directly,
+// without running the simulator.
+
+// pageTouches counts, for one node, how many times each remote page is
+// referenced (shared pages not homed at the node).
+func pageTouches(t *testing.T, g Generator, node int) map[addr.Page]int {
+	t.Helper()
+	owner := map[addr.Page]int{}
+	g.Place(func(p addr.Page, home int) { owner[p] = home })
+	touches := map[addr.Page]int{}
+	for _, r := range drain(g.Stream(node)) {
+		if r.Op == Barrier || !addr.IsShared(r.Addr) {
+			continue
+		}
+		p := addr.PageOf(r.Addr)
+		if owner[p] != node {
+			touches[p]++
+		}
+	}
+	return touches
+}
+
+func TestBarnesRemoteSetIsStableAndHot(t *testing.T) {
+	g, err := New("barnes", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touches := pageTouches(t, g, 0)
+	if len(touches) == 0 {
+		t.Fatal("barnes node 0 touches no remote pages")
+	}
+	// "most of the remote pages ... are 'hot' for long periods": nearly
+	// every touched remote page is revisited many times (2 passes x
+	// iterations).
+	hot := 0
+	for _, n := range touches {
+		if n >= 32 { // enough block touches to cross the threshold
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(len(touches)); frac < 0.9 {
+		t.Errorf("barnes hot fraction = %.2f, want ~1 (Table 6)", frac)
+	}
+}
+
+func TestFFTRemotePagesTouchedOnce(t *testing.T) {
+	g, err := New("fft", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touches := pageTouches(t, g, 0)
+	if len(touches) == 0 {
+		t.Fatal("fft node 0 touches no remote pages")
+	}
+	// "only a tiny fraction of pages in fft are accessed enough to be
+	// eligible for relocation": each remote page is streamed once, at
+	// most one touch per line (the transpose is line-sequential — that
+	// locality is what the RAC exploits).
+	for p, n := range touches {
+		if n > params.LinesPerPage {
+			t.Fatalf("fft remote page %v touched %d times; streaming should touch each line once", p, n)
+		}
+	}
+}
+
+func TestRadixTouchesEveryPage(t *testing.T) {
+	g, err := New("radix", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	g2, _ := New("radix", 4)
+	g2.Place(func(addr.Page, int) { placed++ })
+	touches := pageTouches(t, g, 3)
+	// "Every node accesses every page of shared data": remote pages
+	// touched ~= placed pages minus the node's own section.
+	own := g.HomePagesPerNode()
+	if len(touches) < (placed-own)*95/100 {
+		t.Errorf("radix node 3 touched %d of %d remote pages", len(touches), placed-own)
+	}
+	// "each page is roughly as hot as any other": the busiest page gets
+	// no more than a few times the mean.
+	var sum, max int
+	for _, n := range touches {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(sum) / float64(len(touches))
+	if float64(max) > 5*mean {
+		t.Errorf("radix page heat skewed: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestOceanRemoteTrafficSmall(t *testing.T) {
+	g, err := New("ocean", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := map[addr.Page]int{}
+	g.Place(func(p addr.Page, home int) { owner[p] = home })
+	var local, remote int
+	for _, r := range drain(g.Stream(2)) {
+		if r.Op == Barrier || !addr.IsShared(r.Addr) {
+			continue
+		}
+		if owner[addr.PageOf(r.Addr)] == 2 {
+			local++
+		} else {
+			remote++
+		}
+	}
+	frac := float64(remote) / float64(local+remote)
+	// "only 3% of cache misses are to remote data" — the reference
+	// stream itself is local-dominated.
+	if frac > 0.15 {
+		t.Errorf("ocean remote reference fraction = %.2f, want small", frac)
+	}
+}
+
+func TestLUPanelIsSharedReadPhaseByPhase(t *testing.T) {
+	g, err := New("lu", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node's stream has the same barrier count (phases), and each
+	// node touches remote pages belonging to every other node over the
+	// run ("each process accesses every remote page").
+	touches := pageTouches(t, g, 1)
+	owner := map[addr.Page]int{}
+	g.Place(func(p addr.Page, home int) { owner[p] = home })
+	seen := map[int]bool{}
+	for p := range touches {
+		seen[owner[p]] = true
+	}
+	for n := 0; n < g.Nodes(); n++ {
+		if n == 1 {
+			continue
+		}
+		if !seen[n] {
+			t.Errorf("lu node 1 never read node %d's panels", n)
+		}
+	}
+}
+
+func TestEm3dRemoteWindowRevisited(t *testing.T) {
+	g, err := New("em3d", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touches := pageTouches(t, g, 0)
+	// The neighbor windows are re-read every iteration: pages average
+	// several block touches per iteration over 5 iterations.
+	revisited := 0
+	for _, n := range touches {
+		if n > params.BlocksPerPage { // more than one full pass
+			revisited++
+		}
+	}
+	if frac := float64(revisited) / float64(len(touches)); frac < 0.9 {
+		t.Errorf("em3d revisited fraction = %.2f, want ~1", frac)
+	}
+}
+
+func TestMismatchPagesSingleUser(t *testing.T) {
+	g, err := New("mismatch", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each shared page is referenced by exactly one node.
+	users := map[addr.Page]map[int]bool{}
+	for n := 0; n < g.Nodes(); n++ {
+		for _, r := range drain(g.Stream(n)) {
+			if r.Op == Barrier || !addr.IsShared(r.Addr) {
+				continue
+			}
+			p := addr.PageOf(r.Addr)
+			if users[p] == nil {
+				users[p] = map[int]bool{}
+			}
+			users[p][n] = true
+		}
+	}
+	for p, u := range users {
+		if len(u) != 1 {
+			t.Fatalf("mismatch page %v used by %d nodes, want exactly 1", p, len(u))
+		}
+	}
+}

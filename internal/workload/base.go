@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"ascoma/internal/addr"
+	"ascoma/internal/params"
+)
+
+// base carries the bookkeeping shared by all six application generators:
+// a block-distributed shared region (section i homed at node i), a private
+// region per node, and one prebuilt Program per node.
+type base struct {
+	name      string
+	nodes     int
+	homePages int // shared home pages per node
+	privPages int // private pages per node
+	sections  []addr.GVA
+	progs     []*Program
+}
+
+func (b *base) Name() string             { return b.name }
+func (b *base) Nodes() int               { return b.nodes }
+func (b *base) HomePagesPerNode() int    { return b.homePages }
+func (b *base) PrivatePagesPerNode() int { return b.privPages }
+
+// Place assigns each node's section to that node, modeling the home-page
+// distribution established before the timed parallel phase.
+func (b *base) Place(place func(p addr.Page, home int)) {
+	for i, sec := range b.sections {
+		PlacePages(place, sec, b.homePages, i)
+	}
+}
+
+// Stream returns node i's reference stream.
+func (b *base) Stream(node int) Stream { return b.progs[node].Stream() }
+
+// newBase lays out the shared sections and empty programs.
+func newBase(name string, nodes, homePages, privPages int) *base {
+	l := NewLayout()
+	b := &base{
+		name:      name,
+		nodes:     nodes,
+		homePages: homePages,
+		privPages: privPages,
+		sections:  l.Distributed(nodes, homePages),
+		progs:     make([]*Program, nodes),
+	}
+	for i := range b.progs {
+		b.progs[i] = &Program{}
+	}
+	return b
+}
+
+// priv returns node n's private region base.
+func (b *base) priv(n int) addr.GVA { return addr.PrivateRegion(n) }
+
+// privBytes is the byte size of the private region each node touches.
+func (b *base) privBytes() int64 { return int64(b.privPages) * params.PageSize }
+
+// pageBytes converts a page count to bytes.
+func pageBytes(pages int) int64 { return int64(pages) * params.PageSize }
+
+// addrOf converts a byte offset to an address delta.
+func addrOf(off int64) addr.GVA { return addr.GVA(off) }
+
+// seedFor derives a deterministic scatter seed from workload identity.
+func seedFor(app string, node, iter int) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	for i := 0; i < len(app); i++ {
+		mix(uint64(app[i]))
+	}
+	mix(uint64(node) + 0x1000)
+	mix(uint64(iter) + 0x2000)
+	return h
+}
