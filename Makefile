@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test verify bench race clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-commit gate: vet, build, the full test suite (including
+# the golden determinism test), and a short race-detector smoke over the
+# internal packages.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race -short ./internal/...
+
+# bench runs the two benchmarks tracked in BENCH_PR1.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig2FFT|BenchmarkHotPath' -benchtime 3x -count 1 .
+
+race:
+	$(GO) test -race ./...
+
+clean:
+	$(GO) clean ./...

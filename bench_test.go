@@ -47,6 +47,7 @@ func benchRun(b *testing.B, arch Arch, app string, pressure int) *Result {
 // figureGrid runs the paper's architecture x pressure grid for one
 // application and reports each cell's execution time relative to CC-NUMA.
 func figureGrid(b *testing.B, app string, pressures []int) {
+	b.ReportAllocs()
 	var rel = map[string]float64{}
 	var refs int64
 	for i := 0; i < b.N; i++ {
@@ -80,6 +81,7 @@ func BenchmarkFig3Radix(b *testing.B) { figureGrid(b, "radix", []int{10, 30, 90}
 // --- Table 1: the remote-overhead model on live statistics ------------------
 
 func BenchmarkTable1OverheadModel(b *testing.B) {
+	b.ReportAllocs()
 	p := DefaultParams()
 	var model float64
 	for i := 0; i < b.N; i++ {
@@ -98,6 +100,7 @@ func BenchmarkTable1OverheadModel(b *testing.B) {
 // BenchmarkTable2StorageCost measures the directory-state machinery the
 // table prices out: per-block copyset/refetch bookkeeping on every fetch.
 func BenchmarkTable2StorageCost(b *testing.B) {
+	b.ReportAllocs()
 	d := directory.New(8, 0, 32, func(int, addr.Block) {}, func(int, addr.Block, bool) {})
 	page := addr.PageOf(addr.SharedBase)
 	d.ForceHome(page, 0)
@@ -111,6 +114,7 @@ func BenchmarkTable2StorageCost(b *testing.B) {
 // --- Table 3: configured characteristics (latency composition) --------------
 
 func BenchmarkTable3CacheNetwork(b *testing.B) {
+	b.ReportAllocs()
 	p := DefaultParams()
 	b.ReportMetric(float64(p.L1HitCycles), "L1_cycles")
 	b.ReportMetric(float64(p.RACHitCycles), "RAC_cycles")
@@ -131,6 +135,7 @@ func BenchmarkTable3CacheNetwork(b *testing.B) {
 // --- Table 4: measured minimum latencies -------------------------------------
 
 func BenchmarkTable4MinLatency(b *testing.B) {
+	b.ReportAllocs()
 	// A two-node machine with one remote read measures the end-to-end
 	// minimum remote latency including every modeled component.
 	var remote float64
@@ -153,6 +158,7 @@ func BenchmarkTable4MinLatency(b *testing.B) {
 // --- Table 5: workload inventory ---------------------------------------------
 
 func BenchmarkTable5Workloads(b *testing.B) {
+	b.ReportAllocs()
 	// Generation + placement of all six applications: the cost of
 	// materializing Table 5's inventory.
 	var pages int
@@ -178,6 +184,7 @@ func BenchmarkTable5Workloads(b *testing.B) {
 // --- Table 6: remote vs relocated pages --------------------------------------
 
 func BenchmarkTable6RelocatedPages(b *testing.B) {
+	b.ReportAllocs()
 	var remote, relocated int64
 	for i := 0; i < b.N; i++ {
 		remote, relocated = 0, 0
@@ -197,6 +204,7 @@ func BenchmarkTable6RelocatedPages(b *testing.B) {
 // low memory pressure, S-COMA-preferred allocation versus starting every
 // page in CC-NUMA mode.
 func BenchmarkAblationInitialAlloc(b *testing.B) {
+	b.ReportAllocs()
 	var full, ablated float64
 	for i := 0; i < b.N; i++ {
 		base := benchRun(b, CCNUMA, "radix", 50)
@@ -216,6 +224,7 @@ func BenchmarkAblationInitialAlloc(b *testing.B) {
 // BenchmarkAblationBackoff isolates improvement 2 (Section 5.2): at high
 // memory pressure, the adaptive back-off versus R-NUMA-style relocation.
 func BenchmarkAblationBackoff(b *testing.B) {
+	b.ReportAllocs()
 	var full, ablated float64
 	for i := 0; i < b.N; i++ {
 		base := benchRun(b, CCNUMA, "radix", 50)
@@ -237,6 +246,7 @@ func BenchmarkAblationBackoff(b *testing.B) {
 // adaptive policy's does not (run cmd/sweep -sensitivity threshold for the
 // full table).
 func BenchmarkSensitivityThreshold(b *testing.B) {
+	b.ReportAllocs()
 	metrics := map[string]float64{}
 	for i := 0; i < b.N; i++ {
 		base := benchRun(b, CCNUMA, "radix", 70)
@@ -262,6 +272,7 @@ func BenchmarkSensitivityThreshold(b *testing.B) {
 // BenchmarkSensitivityRACSize sweeps the remote access cache size on fft
 // (run cmd/sweep -sensitivity rac for the full table).
 func BenchmarkSensitivityRACSize(b *testing.B) {
+	b.ReportAllocs()
 	metrics := map[string]float64{}
 	for i := 0; i < b.N; i++ {
 		for _, entries := range []int{0, 1, 4} {
@@ -285,6 +296,7 @@ func BenchmarkSensitivityRACSize(b *testing.B) {
 // BenchmarkSimulatorThroughput measures end-to-end simulated references per
 // second, the simulator's own figure of merit.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var refs int64
 	for i := 0; i < b.N; i++ {
 		res := benchRun(b, ASCOMA, "uniform", 50)
@@ -294,6 +306,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 }
 
 func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
 	var q sim.Queue
 	for i := 0; i < b.N; i++ {
 		q.Push(sim.Event{Time: int64(i % 97)})
@@ -303,7 +316,23 @@ func BenchmarkEventQueue(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPath is the simulator's per-reference figure of merit: one
+// full AS-COMA run over the uniform synthetic workload per iteration,
+// reported as simulated references per wall-clock second. Together with
+// allocs/op (every run's transient state counts against it) this is the
+// number recorded before/after hot-path changes in BENCH_PR1.json.
+func BenchmarkHotPath(b *testing.B) {
+	b.ReportAllocs()
+	var refs int64
+	for i := 0; i < b.N; i++ {
+		res := benchRun(b, ASCOMA, "uniform", 50)
+		refs += res.Counter(func(n *stats.Node) int64 { return n.SharedRefs + n.PrivateRefs })
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/sec")
+}
+
 func BenchmarkStreamGeneration(b *testing.B) {
+	b.ReportAllocs()
 	g, err := workload.New("radix", benchScale)
 	if err != nil {
 		b.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"ascoma"
+	"ascoma/internal/prof"
 	"ascoma/internal/stats"
 )
 
@@ -25,6 +26,8 @@ func main() {
 	scale := flag.Int("scale", 1, "problem-size divisor (1 = paper scale)")
 	verbose := flag.Bool("v", false, "print per-node statistics")
 	jsonOut := flag.Bool("json", false, "emit the full statistics as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	a, err := ascoma.ParseArch(*arch)
@@ -32,12 +35,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	res, err := ascoma.Run(ascoma.Config{
 		Arch:     a,
 		Workload: *wl,
 		Pressure: *pressure,
 		Scale:    *scale,
 	})
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"ascoma/internal/prof"
 	"ascoma/internal/report"
 )
 
@@ -41,10 +42,24 @@ var (
 	sensitivity = flag.String("sensitivity", "", "run a design-choice sensitivity study: 'threshold', 'rac', or 'nodes'")
 	svgDir      = flag.String("svg", "", "also write the figures as SVG files into this directory")
 	jobs        = flag.Int("jobs", runtime.NumCPU(), "parallel simulations")
+	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
+
+// stopProf finishes any active profiles; fail() runs it before os.Exit so a
+// profile of a failing run is still written.
+var stopProf = func() error { return nil }
 
 func main() {
 	flag.Parse()
+
+	var err error
+	stopProf, err = prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() { run(stopProf()) }()
 
 	plist, err := report.ParsePressures(*pressures)
 	if err != nil {
@@ -132,5 +147,6 @@ func run(err error) {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
+	stopProf() //nolint:errcheck // best effort on the failure path
 	os.Exit(1)
 }

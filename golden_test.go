@@ -1,0 +1,136 @@
+package ascoma
+
+// The golden-determinism regression test pins the simulator's observable
+// behaviour: for every (architecture, application) pair at small scale it
+// runs the simulation twice and checks that (a) both runs produce identical
+// statistics (run-to-run determinism) and (b) the statistics match a
+// checked-in checksum (release-to-release determinism). Any change to the
+// simulator's internal data structures — hash maps to dense tables, added
+// caches, reordered bookkeeping — must leave every checksum untouched, which
+// proves the change altered no simulated behaviour: same event order, same
+// stats, same figures.
+//
+// Regenerate testdata/golden_stats.json after an *intentional* model change
+// with:
+//
+//	go test -run TestGoldenDeterminism -update-golden
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_stats.json from the current simulator")
+
+const goldenPath = "testdata/golden_stats.json"
+
+// goldenScale shrinks problems so the full matrix runs in a few seconds.
+const goldenScale = 8
+
+// goldenConfigs enumerates the pinned (arch, app, pressure) grid. MIG-NUMA
+// is included: the migration path touches every subsystem the hybrids do,
+// plus the home-transfer machinery.
+func goldenConfigs() []Config {
+	apps := []string{"barnes", "em3d", "fft", "lu", "ocean", "radix"}
+	archs := []Arch{CCNUMA, SCOMA, RNUMA, VCNUMA, ASCOMA, MIGNUMA}
+	var cfgs []Config
+	for _, app := range apps {
+		for _, arch := range archs {
+			for _, pr := range []int{10, 70} {
+				cfgs = append(cfgs, Config{Arch: arch, Workload: app, Pressure: pr, Scale: goldenScale})
+			}
+		}
+	}
+	return cfgs
+}
+
+func goldenKey(cfg Config) string {
+	return fmt.Sprintf("%v/%s@%d", cfg.Arch, cfg.Workload, cfg.Pressure)
+}
+
+// statsChecksum hashes the complete statistics of one run: every per-node
+// counter, time category, miss classification, and the Table 6 aggregates.
+func statsChecksum(t *testing.T, res *Result) string {
+	t.Helper()
+	blob, err := json.Marshal(res.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(blob)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix skipped in -short mode")
+	}
+	got := map[string]string{}
+	for _, cfg := range goldenConfigs() {
+		key := goldenKey(cfg)
+		first, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		second, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s (rerun): %v", key, err)
+		}
+		c1, c2 := statsChecksum(t, first), statsChecksum(t, second)
+		if c1 != c2 {
+			t.Errorf("%s: nondeterministic: run1=%s run2=%s", key, c1, c2)
+		}
+		got[key] = c1
+	}
+
+	if *updateGolden {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		blob, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d checksums to %s", len(got), goldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for key, w := range want {
+		if g, ok := got[key]; !ok {
+			t.Errorf("%s: config missing from test matrix", key)
+		} else if g != w {
+			t.Errorf("%s: stats checksum changed: got %s want %s", key, g, w)
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: not in golden file (run -update-golden)", key)
+		}
+	}
+}

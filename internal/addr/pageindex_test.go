@@ -1,0 +1,93 @@
+package addr
+
+import (
+	"testing"
+
+	"ascoma/internal/params"
+)
+
+func TestPageIndexRoundTrip(t *testing.T) {
+	// Every page of the shared region boundary neighborhoods and of several
+	// private regions must round-trip Page -> Index -> Page.
+	pages := []Page{
+		PageOf(SharedBase),
+		PageOf(SharedBase) + 1,
+		PageOf(PrivateBase) - 1, // last shared page
+		PageOf(PrivateBase),     // first private page (node 0)
+	}
+	for n := 0; n < MaxIndexNodes; n += 7 {
+		base := PageOf(PrivateRegion(n))
+		pages = append(pages, base, base+1, base+Page(PrivatePages)-1)
+	}
+	seen := map[PageIndex]Page{}
+	for _, p := range pages {
+		idx, ok := p.Index()
+		if !ok {
+			t.Fatalf("page %v: not indexable", p)
+		}
+		if idx < 0 || int(idx) >= NumPageIndexes {
+			t.Fatalf("page %v: index %d out of range [0,%d)", p, idx, NumPageIndexes)
+		}
+		if got := PageAt(idx); got != p {
+			t.Fatalf("page %v: round trip via index %d gave %v", p, idx, got)
+		}
+		if prev, dup := seen[idx]; dup && prev != p {
+			t.Fatalf("index %d assigned to both %v and %v", idx, prev, p)
+		}
+		seen[idx] = p
+	}
+}
+
+func TestPageIndexRegionLayout(t *testing.T) {
+	// Shared pages occupy [0, SharedPages) in address order.
+	first, ok := PageOf(SharedBase).Index()
+	if !ok || first != 0 {
+		t.Fatalf("first shared page: index %d ok=%v, want 0", first, ok)
+	}
+	last, ok := (PageOf(PrivateBase) - 1).Index()
+	if !ok || int(last) != SharedPages-1 {
+		t.Fatalf("last shared page: index %d ok=%v, want %d", last, ok, SharedPages-1)
+	}
+	// Node n's private pages occupy one contiguous run after the shared
+	// pages, in node order.
+	for _, n := range []int{0, 1, 5, MaxIndexNodes - 1} {
+		idx, ok := PageOf(PrivateRegion(n)).Index()
+		want := PageIndex(SharedPages + n*PrivatePages)
+		if !ok || idx != want {
+			t.Fatalf("node %d private base: index %d ok=%v, want %d", n, idx, ok, want)
+		}
+	}
+}
+
+func TestPageIndexOutOfRange(t *testing.T) {
+	bad := []Page{
+		0,
+		PageOf(SharedBase) - 1,
+		PageOf(PrivateRegion(MaxIndexNodes)), // just past the last private region
+		Page(1) << 60,
+	}
+	for _, p := range bad {
+		if idx, ok := p.Index(); ok || idx != NoPageIndex {
+			t.Errorf("page %v: got index %d ok=%v, want NoPageIndex", p, idx, ok)
+		}
+	}
+}
+
+func TestPageIndexCoversWorkloadSpace(t *testing.T) {
+	// The constants must agree with the region definitions in addr.go.
+	if got := int((PrivateBase - SharedBase) >> params.PageShift); got != SharedPages {
+		t.Fatalf("SharedPages = %d, want %d", SharedPages, got)
+	}
+	if got := int(PrivateStride >> params.PageShift); got != PrivatePages {
+		t.Fatalf("PrivatePages = %d, want %d", PrivatePages, got)
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex(0) did not panic")
+		}
+	}()
+	Page(0).MustIndex()
+}

@@ -20,6 +20,7 @@ import (
 // machinery to obtain ownership, or other nodes would keep stale copies.
 type L1 struct {
 	sets     int
+	mask     uint64      // sets-1; the set count is a validated power of two
 	tags     []addr.Line // full line number stored as tag
 	valid    []bool
 	dirty    []bool
@@ -31,6 +32,7 @@ func NewL1(bytes int) *L1 {
 	sets := bytes / params.LineSize
 	return &L1{
 		sets:     sets,
+		mask:     uint64(sets - 1),
 		tags:     make([]addr.Line, sets),
 		valid:    make([]bool, sets),
 		dirty:    make([]bool, sets),
@@ -38,7 +40,7 @@ func NewL1(bytes int) *L1 {
 	}
 }
 
-func (c *L1) index(l addr.Line) int { return int(uint64(l) % uint64(c.sets)) }
+func (c *L1) index(l addr.Line) int { return int(uint64(l) & c.mask) }
 
 // Lookup reports whether line l can satisfy the access: any valid copy
 // satisfies a read; only a writable copy satisfies a write (which marks it

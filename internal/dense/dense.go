@@ -1,0 +1,73 @@
+// Package dense provides a two-level, chunk-allocated table keyed by small
+// dense integers — the slice-backed replacement for the map[addr.Page]
+// lookups that used to dominate the simulator's per-reference hot path.
+//
+// The index space may be large (the full dense page-index space is ~1.5M
+// entries) but simulations touch compact runs of it: the shared layout
+// allocates pages contiguously from the shared base and each node's private
+// region is a contiguous run, so only the chunks actually touched are ever
+// allocated. A lookup is two array indexations and no hashing; entries are
+// value-typed inside their chunk, so creating one allocates nothing beyond
+// the (amortized) chunk itself, and entry addresses are stable for the life
+// of the table — chunks are never moved or resized, so callers may retain
+// *T pointers across inserts.
+package dense
+
+// chunkShift sets the chunk granularity: 512 entries per chunk keeps the
+// per-chunk allocation modest for fat entry types (the directory's per-page
+// entry is ~1 KB) while covering a node's whole private region in a few
+// chunks.
+const (
+	chunkShift = 9
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+// Table is a sparse array of T keyed by a non-negative dense index. The zero
+// value is an empty table.
+type Table[T any] struct {
+	chunks [][]T
+}
+
+// Get returns the entry at index i, or nil when its chunk has never been
+// touched. The returned pointer aliases table storage: mutations through it
+// are visible to later calls, and the pointer stays valid forever.
+func (t *Table[T]) Get(i int) *T {
+	c := i >> chunkShift
+	if c >= len(t.chunks) || t.chunks[c] == nil {
+		return nil
+	}
+	return &t.chunks[c][i&chunkMask]
+}
+
+// GetOrCreate returns the entry at index i, allocating its chunk on first
+// touch. New entries are zero-valued.
+func (t *Table[T]) GetOrCreate(i int) *T {
+	c := i >> chunkShift
+	if c >= len(t.chunks) {
+		grown := make([][]T, c+1)
+		copy(grown, t.chunks)
+		t.chunks = grown
+	}
+	if t.chunks[c] == nil {
+		t.chunks[c] = make([]T, chunkSize)
+	}
+	return &t.chunks[c][i&chunkMask]
+}
+
+// Range calls f for every entry in every allocated chunk, in ascending index
+// order (zero-valued entries included — callers distinguish live entries by
+// their own presence marker). It stops early when f returns false.
+func (t *Table[T]) Range(f func(i int, v *T) bool) {
+	for c, chunk := range t.chunks {
+		if chunk == nil {
+			continue
+		}
+		base := c << chunkShift
+		for j := range chunk {
+			if !f(base+j, &chunk[j]) {
+				return
+			}
+		}
+	}
+}

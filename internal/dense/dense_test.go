@@ -1,0 +1,71 @@
+package dense
+
+import "testing"
+
+func TestGetMissingReturnsNil(t *testing.T) {
+	var tb Table[int]
+	if tb.Get(0) != nil || tb.Get(12345) != nil {
+		t.Fatal("Get on an empty table must return nil")
+	}
+}
+
+func TestGetOrCreateAndGet(t *testing.T) {
+	var tb Table[int]
+	for _, i := range []int{0, 1, chunkSize - 1, chunkSize, 7 * chunkSize, 1_000_000} {
+		p := tb.GetOrCreate(i)
+		if p == nil || *p != 0 {
+			t.Fatalf("index %d: new entry not zero-valued", i)
+		}
+		*p = i + 1
+		if q := tb.Get(i); q == nil || *q != i+1 {
+			t.Fatalf("index %d: Get did not observe the write", i)
+		}
+	}
+	// A neighbor in an untouched chunk is still nil.
+	if tb.Get(3*chunkSize) != nil {
+		t.Fatal("untouched chunk must stay unallocated")
+	}
+}
+
+func TestPointerStability(t *testing.T) {
+	var tb Table[int64]
+	first := tb.GetOrCreate(5)
+	*first = 42
+	// Touch far-away indexes to force the chunk directory to grow.
+	for i := 0; i < 200; i++ {
+		tb.GetOrCreate(i * chunkSize)
+	}
+	if again := tb.Get(5); again != first {
+		t.Fatal("entry address moved after table growth")
+	}
+	if *first != 42 {
+		t.Fatal("entry value lost after table growth")
+	}
+}
+
+func TestRangeOrderAndEarlyStop(t *testing.T) {
+	var tb Table[int]
+	for _, i := range []int{3, chunkSize + 1, 4 * chunkSize} {
+		*tb.GetOrCreate(i) = i
+	}
+	last := -1
+	seen := 0
+	tb.Range(func(i int, v *int) bool {
+		if i <= last {
+			t.Fatalf("Range out of order: %d after %d", i, last)
+		}
+		last = i
+		if *v != 0 {
+			seen++
+		}
+		return true
+	})
+	if seen != 3 {
+		t.Fatalf("Range saw %d live entries, want 3", seen)
+	}
+	calls := 0
+	tb.Range(func(int, *int) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("Range ignored early stop: %d calls", calls)
+	}
+}

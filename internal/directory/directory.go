@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"ascoma/internal/addr"
+	"ascoma/internal/dense"
 	"ascoma/internal/params"
 )
 
@@ -70,13 +71,15 @@ type blockDir struct {
 }
 
 type pageEntry struct {
-	home   int
-	blocks [params.BlocksPerPage]blockDir
+	present bool // set once a home is assigned (entries live in a dense table)
+	home    int
+	blocks  [params.BlocksPerPage]blockDir
 
 	// Per-node refetch counters (the R-NUMA per-page-per-node counter
 	// array: "4 bits per page per node" in Table 2 — modeled wider so the
-	// adaptive thresholds can exceed 15).
-	refetch []uint32
+	// adaptive thresholds can exceed 15). Sized by the 64-node protocol
+	// limit so entries are value-typed: no per-page slice allocation.
+	refetch [64]uint32
 
 	// Classification state per block: which nodes have ever fetched it
 	// and which lost it to a remap-induced flush.
@@ -103,7 +106,11 @@ type Directory struct {
 	nodes     int
 	threshold int // initial relocation threshold, for Table 6's everHot
 
-	pages map[addr.Page]*pageEntry
+	// pages is keyed by the dense page index (addr.PageIndex): two array
+	// indexations per directory operation instead of a map probe, with
+	// entries value-typed inside their chunk.
+	pages     dense.Table[pageEntry]
+	pageCount int
 
 	// Home allocation state.
 	homeCount []int // home pages currently owned per node
@@ -121,7 +128,6 @@ func New(nodes, homeLimit, threshold int, inv Invalidator, wb Writebacker) *Dire
 	return &Directory{
 		nodes:      nodes,
 		threshold:  threshold,
-		pages:      make(map[addr.Page]*pageEntry),
 		homeCount:  make([]int, nodes),
 		homeLimit:  homeLimit,
 		invalidate: inv,
@@ -129,10 +135,33 @@ func New(nodes, homeLimit, threshold int, inv Invalidator, wb Writebacker) *Dire
 	}
 }
 
+// entry returns the live entry for page p, or nil when the page has no home
+// yet.
+func (d *Directory) entry(p addr.Page) *pageEntry {
+	idx, ok := p.Index()
+	if !ok {
+		return nil
+	}
+	e := d.pages.Get(int(idx))
+	if e == nil || !e.present {
+		return nil
+	}
+	return e
+}
+
+// createEntry installs a fresh entry for page p with the given home.
+func (d *Directory) createEntry(p addr.Page, home int) *pageEntry {
+	e := d.pages.GetOrCreate(int(p.MustIndex()))
+	e.present = true
+	e.home = home
+	d.pageCount++
+	return e
+}
+
 // Home returns the page's home node, or -1 if the page has no home yet.
 func (d *Directory) Home(p addr.Page) int {
-	e, ok := d.pages[p]
-	if !ok {
+	e := d.entry(p)
+	if e == nil {
 		return -1
 	}
 	return e.home
@@ -146,7 +175,7 @@ func (d *Directory) Home(p addr.Page) int {
 // robin fashion to nodes that have not reached the limit." It returns the
 // chosen home.
 func (d *Directory) AssignHome(p addr.Page, toucher int) int {
-	if e, ok := d.pages[p]; ok {
+	if e := d.entry(p); e != nil {
 		return e.home
 	}
 	home := toucher
@@ -168,19 +197,18 @@ func (d *Directory) AssignHome(p addr.Page, toucher int) int {
 		}
 	}
 	d.homeCount[home]++
-	e := &pageEntry{home: home, refetch: make([]uint32, d.nodes)}
-	d.pages[p] = e
+	d.createEntry(p, home)
 	return home
 }
 
 // ForceHome assigns page p to an explicit home (used by workloads that
 // pre-place data, and by tests).
 func (d *Directory) ForceHome(p addr.Page, home int) {
-	if _, ok := d.pages[p]; ok {
+	if d.entry(p) != nil {
 		return
 	}
 	d.homeCount[home]++
-	d.pages[p] = &pageEntry{home: home, refetch: make([]uint32, d.nodes)}
+	d.createEntry(p, home)
 }
 
 // HomePages returns the number of home pages owned by node i.
@@ -209,8 +237,8 @@ type FetchResult struct {
 // conflict miss, and not a coherence or cold miss").
 func (d *Directory) Fetch(node int, b addr.Block, write, haveData bool) FetchResult {
 	p := b.Page()
-	e, ok := d.pages[p]
-	if !ok {
+	e := d.entry(p)
+	if e == nil {
 		panic(fmt.Sprintf("directory: fetch of unallocated page %v", p))
 	}
 	bd := &e.blocks[b.Index()]
@@ -295,8 +323,8 @@ func (d *Directory) Fetch(node int, b addr.Block, write, haveData bool) FetchRes
 // reach the directory). It returns the number of invalidations sent.
 func (d *Directory) HomeWrite(b addr.Block) int {
 	p := b.Page()
-	e, ok := d.pages[p]
-	if !ok {
+	e := d.entry(p)
+	if e == nil {
 		return 0
 	}
 	bd := &e.blocks[b.Index()]
@@ -329,8 +357,8 @@ func (d *Directory) HomeWrite(b addr.Block) int {
 // remain conflict misses. It returns the number of blocks the node held and
 // how many of them it owned dirty.
 func (d *Directory) FlushNode(p addr.Page, node int) (held, dirty int) {
-	e, ok := d.pages[p]
-	if !ok {
+	e := d.entry(p)
+	if e == nil {
 		return 0, 0
 	}
 	bit := uint64(1) << uint(node)
@@ -356,8 +384,8 @@ func (d *Directory) FlushNode(p addr.Page, node int) (held, dirty int) {
 // at a remote owner the home must retrieve it first; the owner downgrades
 // to a clean sharer. fetched reports whether that retrieval was needed.
 func (d *Directory) HomeRead(b addr.Block) (owner int, fetched bool) {
-	e, ok := d.pages[b.Page()]
-	if !ok {
+	e := d.entry(b.Page())
+	if e == nil {
 		return 0, false
 	}
 	bd := &e.blocks[b.Index()]
@@ -378,8 +406,8 @@ func (d *Directory) HomeRead(b addr.Block) (owner int, fetched bool) {
 // copyset, the same conservative imprecision as silent clean replacement —
 // so a later refetch by the writer is still recognized as a conflict miss.
 func (d *Directory) WritebackDirty(node int, b addr.Block) {
-	e, ok := d.pages[b.Page()]
-	if !ok {
+	e := d.entry(b.Page())
+	if e == nil {
 		return
 	}
 	bd := &e.blocks[b.Index()]
@@ -393,8 +421,8 @@ func (d *Directory) WritebackDirty(node int, b addr.Block) {
 // state; used when a node silently loses a block to coherence invalidation
 // (the caller already invalidated the caches).
 func (d *Directory) DropCopy(node int, b addr.Block) {
-	e, ok := d.pages[b.Page()]
-	if !ok {
+	e := d.entry(b.Page())
+	if e == nil {
 		return
 	}
 	bd := &e.blocks[b.Index()]
@@ -415,8 +443,8 @@ func (d *Directory) DropCopy(node int, b addr.Block) {
 // induced cold miss. It returns the number of copies invalidated and how
 // many blocks were dirty at some node.
 func (d *Directory) MigratePage(p addr.Page, newHome int) (invalidated, dirty int) {
-	e, ok := d.pages[p]
-	if !ok {
+	e := d.entry(p)
+	if e == nil {
 		return 0, 0
 	}
 	for i := range e.blocks {
@@ -438,7 +466,7 @@ func (d *Directory) MigratePage(p addr.Page, newHome int) (invalidated, dirty in
 		bd.state = Uncached
 		bd.copyset = 0
 	}
-	for n := range e.refetch {
+	for n := 0; n < d.nodes; n++ {
 		e.refetch[n] = 0
 	}
 	d.homeCount[e.home]--
@@ -449,8 +477,8 @@ func (d *Directory) MigratePage(p addr.Page, newHome int) (invalidated, dirty in
 
 // Refetches returns the refetch counter for (page, node).
 func (d *Directory) Refetches(p addr.Page, node int) uint32 {
-	e, ok := d.pages[p]
-	if !ok {
+	e := d.entry(p)
+	if e == nil {
 		return 0
 	}
 	return e.refetch[node]
@@ -459,15 +487,15 @@ func (d *Directory) Refetches(p addr.Page, node int) uint32 {
 // ResetRefetch zeroes the refetch counter for (page, node); the hybrids do
 // this when the page changes mode at that node.
 func (d *Directory) ResetRefetch(p addr.Page, node int) {
-	if e, ok := d.pages[p]; ok {
+	if e := d.entry(p); e != nil {
 		e.refetch[node] = 0
 	}
 }
 
 // State returns the MSI state and copyset of a block (for tests).
 func (d *Directory) State(b addr.Block) (BlockState, uint64) {
-	e, ok := d.pages[b.Page()]
-	if !ok {
+	e := d.entry(b.Page())
+	if e == nil {
 		return Uncached, 0
 	}
 	bd := &e.blocks[b.Index()]
@@ -479,7 +507,10 @@ func (d *Directory) State(b addr.Block) (BlockState, uint64) {
 // ever reached the initial threshold. These are the paper's "Total Remote
 // Pages" and "Relocated Pages" columns.
 func (d *Directory) Table6() (remote, relocated int64) {
-	for _, e := range d.pages {
+	d.pages.Range(func(_ int, e *pageEntry) bool {
+		if !e.present {
+			return true
+		}
 		for n := 0; n < d.nodes; n++ {
 			bit := uint64(1) << uint(n)
 			if n == e.home {
@@ -492,9 +523,10 @@ func (d *Directory) Table6() (remote, relocated int64) {
 				relocated++
 			}
 		}
-	}
+		return true
+	})
 	return remote, relocated
 }
 
 // Pages returns the number of pages with assigned homes.
-func (d *Directory) Pages() int { return len(d.pages) }
+func (d *Directory) Pages() int { return d.pageCount }

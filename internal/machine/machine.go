@@ -13,6 +13,7 @@ import (
 	"ascoma/internal/bus"
 	"ascoma/internal/cache"
 	"ascoma/internal/core"
+	"ascoma/internal/dense"
 	"ascoma/internal/directory"
 	"ascoma/internal/network"
 	"ascoma/internal/params"
@@ -71,6 +72,7 @@ type node struct {
 	l1  *cache.L1
 	rac *cache.RAC
 	vmm *vm.VM
+	tlb tlb // software translation cache over vmm's page table
 	pol core.Policy
 	bus *bus.Bus
 	mem *sim.Banked
@@ -101,8 +103,14 @@ type Machine struct {
 	active   int   // nodes not yet done
 	waiters  []int // nodes parked at the current barrier
 	barriers int64 // completed barrier episodes
-	locks    map[addr.GVA]*lockState
 	aborted  error // first fatal protocol/program error
+
+	// Lock state: workload mutex ids are small integers, so the common
+	// case is a dense, chunk-allocated table (stable pointers, no hashing,
+	// no per-lock allocation); arbitrary ids from custom workloads fall
+	// back to a map. A zero lockState is a valid unheld lock.
+	locks     dense.Table[lockState]
+	lockOther map[addr.GVA]*lockState
 
 	// Invalidation-latency context for the current directory operation.
 	invHome  int
@@ -205,7 +213,6 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 		m.nodes[i].stream = gen.Stream(i)
 	}
 	m.active = n
-	m.locks = make(map[addr.GVA]*lockState)
 	if cfg.CheckCoherence {
 		m.checker = newCoherenceChecker(n)
 	}
@@ -232,14 +239,35 @@ func (m *Machine) lockCost(nd *node, id addr.GVA) int64 {
 	return m.p.RemoteMemCycles()
 }
 
+// maxDenseLock bounds the mutex ids kept in the dense lock table; ids at or
+// above it (only possible from custom workloads using raw addresses as lock
+// ids) fall back to the map.
+const maxDenseLock = 1 << 20
+
+// lockFor returns the state of mutex id, materializing it when create is
+// set; without create it returns nil for a never-touched mutex.
+func (m *Machine) lockFor(id addr.GVA, create bool) *lockState {
+	if id < maxDenseLock {
+		if create {
+			return m.locks.GetOrCreate(int(id))
+		}
+		return m.locks.Get(int(id))
+	}
+	l := m.lockOther[id]
+	if l == nil && create {
+		if m.lockOther == nil {
+			m.lockOther = make(map[addr.GVA]*lockState)
+		}
+		l = &lockState{}
+		m.lockOther[id] = l
+	}
+	return l
+}
+
 // acquireLock attempts to take the mutex; it returns the cycles consumed
 // and whether the node must park.
 func (m *Machine) acquireLock(nd *node, id addr.GVA, now int64) (cost int64, blocked bool) {
-	l := m.locks[id]
-	if l == nil {
-		l = &lockState{}
-		m.locks[id] = l
-	}
+	l := m.lockFor(id, true)
 	cost = m.lockCost(nd, id)
 	if !l.held {
 		l.held = true
@@ -252,7 +280,7 @@ func (m *Machine) acquireLock(nd *node, id addr.GVA, now int64) (cost int64, blo
 
 // releaseLock frees the mutex and hands it to the first waiter, waking it.
 func (m *Machine) releaseLock(nd *node, id addr.GVA, now int64) (int64, error) {
-	l := m.locks[id]
+	l := m.lockFor(id, false)
 	if l == nil || !l.held || l.owner != nd.id {
 		return 0, fmt.Errorf("machine: node %d unlocked mutex %#x it does not hold", nd.id, uint64(id))
 	}
@@ -450,13 +478,19 @@ func (m *Machine) access(nd *node, ref workload.Ref, now int64) int64 {
 		return now + p.L1HitCycles
 	}
 
-	// L1 miss: translate.
+	// L1 miss: translate. The TLB hit is the common case — repeated
+	// touches to the same page skip the page-table walk entirely; the walk
+	// (and the fault path under it) refills the entry.
 	page := addr.PageOf(ref.Addr)
-	pte := nd.vmm.Lookup(page)
+	pte := nd.tlb.lookup(page)
 	if pte == nil {
-		var kcost int64
-		pte, kcost = m.pageFault(nd, page, now)
-		now += kcost
+		pte = nd.vmm.Lookup(page)
+		if pte == nil {
+			var kcost int64
+			pte, kcost = m.pageFault(nd, page, now)
+			now += kcost
+		}
+		nd.tlb.insert(page, pte)
 	}
 	pte.RefBit = true
 	block := line.Block()
@@ -810,6 +844,7 @@ func (m *Machine) relocate(nd *node, pte *vm.PTE, now int64) int64 {
 		flushed, _ := nd.l1.FlushPage(pte.Page)
 		nd.rac.FlushPage(pte.Page)
 		_, dirty := m.dir.FlushNode(pte.Page, nd.id)
+		nd.tlb.invalidate(pte.Page) // remap shoots down the translation
 		cost += p.RelocationCycles + int64(flushed)*p.L1FlushLine + int64(dirty)*p.FlushBlockWBCycles
 		nd.st.Upgrades++
 	} else {
@@ -856,8 +891,10 @@ func (m *Machine) migrate(nd *node, mig core.Migrator, pte *vm.PTE, now int64) i
 		m.nodes[nd.id].mem.Acquire(uint64(page.BlockAt(i)), t, p.LocalMemCycles)
 	}
 
-	// Update every node's mapping of the page.
+	// Update every node's mapping of the page — the global TLB shootdown
+	// the MigrationCycles cost models.
 	for _, other := range m.nodes {
+		other.tlb.invalidate(page)
 		opte := other.vmm.Lookup(page)
 		if opte == nil {
 			continue
@@ -893,6 +930,8 @@ func (m *Machine) evict(nd *node, victim *vm.PTE) int64 {
 		// its mapping and the next access must fault and re-replace.
 		nd.vmm.Unmap(victim)
 	}
+	// The remap (or unmap) shoots down the node's cached translation.
+	nd.tlb.invalidate(victim.Page)
 	nd.st.Downgrades++
 	nd.pol.NoteEviction(hits, nd.vmm.SComaPages())
 	return p.RelocationCycles + int64(flushed)*p.L1FlushLine + int64(dirty)*p.FlushBlockWBCycles

@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"ascoma/internal/addr"
+	"ascoma/internal/vm"
+)
+
+// tlbSize is the number of direct-mapped translation entries per node. 64
+// entries cover 256 KB of working set — enough that the common case of
+// repeated touches to the same handful of pages skips the page-table walk
+// entirely, small enough that the array lives in cache.
+const tlbSize = 64
+
+// tlb is a node's software translation cache: page -> *PTE, direct-mapped
+// by the low page bits. It caches only the association; all mapping state
+// (mode, home, valid bits) is read through the PTE, which the VM mutates in
+// place, so a cached translation can never serve stale *state* — only a
+// stale *association*, which the explicit shootdowns below prevent:
+//
+//   - evict/relocate remap a page between CC-NUMA and S-COMA modes (and
+//     pure S-COMA eviction unmaps entirely — the one case where a stale
+//     entry would change behaviour, by skipping the re-fault);
+//   - migration rewrites the page's home on every node.
+//
+// Real kernels shoot the TLB down at exactly these points, so fidelity and
+// correctness coincide.
+type tlb struct {
+	pages [tlbSize]addr.Page
+	ptes  [tlbSize]*vm.PTE
+}
+
+func tlbIndex(p addr.Page) int { return int(uint64(p) & (tlbSize - 1)) }
+
+// lookup returns the cached PTE for page p, or nil on a TLB miss.
+func (t *tlb) lookup(p addr.Page) *vm.PTE {
+	i := tlbIndex(p)
+	if t.pages[i] == p {
+		return t.ptes[i]
+	}
+	return nil
+}
+
+// insert caches the translation, displacing the slot's previous occupant.
+func (t *tlb) insert(p addr.Page, pte *vm.PTE) {
+	i := tlbIndex(p)
+	t.pages[i] = p
+	t.ptes[i] = pte
+}
+
+// invalidate drops page p's entry if cached (a single-page shootdown).
+func (t *tlb) invalidate(p addr.Page) {
+	i := tlbIndex(p)
+	if t.pages[i] == p {
+		t.ptes[i] = nil
+	}
+}
+
+// reset drops every entry (a full shootdown).
+func (t *tlb) reset() {
+	*t = tlb{}
+}

@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"testing"
+
+	"ascoma/internal/addr"
+	"ascoma/internal/params"
+	"ascoma/internal/vm"
+	"ascoma/internal/workload"
+)
+
+func tlbTestPage(n uint64) addr.Page { return addr.PageOf(addr.SharedBase) + addr.Page(n) }
+
+func TestTLBInsertLookupInvalidate(t *testing.T) {
+	var tb tlb
+	p := tlbTestPage(3)
+	if tb.lookup(p) != nil {
+		t.Fatal("empty TLB returned an entry")
+	}
+	pte := &vm.PTE{Page: p, Mode: vm.ModeNUMA}
+	tb.insert(p, pte)
+	if tb.lookup(p) != pte {
+		t.Fatal("lookup missed after insert")
+	}
+	// A different page mapping to the same slot must miss, and inserting it
+	// displaces the original (direct-mapped).
+	q := p + addr.Page(tlbSize)
+	if tb.lookup(q) != nil {
+		t.Fatal("conflicting page hit on the wrong tag")
+	}
+	qte := &vm.PTE{Page: q, Mode: vm.ModeNUMA}
+	tb.insert(q, qte)
+	if tb.lookup(q) != qte || tb.lookup(p) != nil {
+		t.Fatal("conflict insert did not displace the old entry")
+	}
+	tb.invalidate(q)
+	if tb.lookup(q) != nil {
+		t.Fatal("entry survived invalidation")
+	}
+	// Invalidating a non-resident page is a no-op.
+	tb.insert(p, pte)
+	tb.invalidate(q)
+	if tb.lookup(p) != pte {
+		t.Fatal("invalidate of an absent page dropped a live entry")
+	}
+	tb.reset()
+	if tb.lookup(p) != nil {
+		t.Fatal("entry survived reset")
+	}
+}
+
+// tlbConsistent checks the TLB invariant on every node: every cached
+// translation must agree with the page-table walk it short-circuits.
+func tlbConsistent(t *testing.T, m *Machine, label string) {
+	t.Helper()
+	for _, nd := range m.nodes {
+		for i := 0; i < tlbSize; i++ {
+			pte := nd.tlb.ptes[i]
+			if pte == nil {
+				continue
+			}
+			page := nd.tlb.pages[i]
+			if walked := nd.vmm.Lookup(page); walked != pte {
+				t.Fatalf("%s: node %d TLB entry for %v diverges from page table (tlb=%p walk=%p)",
+					label, nd.id, page, pte, walked)
+			}
+		}
+	}
+}
+
+// TestTLBConsistencyAfterRun drives every remap-heavy architecture to
+// completion and checks that no node's TLB holds a translation the page
+// table disowned — the invariant the relocate/evict/migrate shootdowns
+// maintain. Pure S-COMA is the sharpest case: its evictions unmap pages
+// entirely, so a missed shootdown would skip a required re-fault.
+func TestTLBConsistencyAfterRun(t *testing.T) {
+	for _, arch := range []params.Arch{params.SCOMA, params.ASCOMA, params.RNUMA, params.MIGNUMA} {
+		gen, err := workload.New("hotcold", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(Config{Arch: arch, Pressure: 85, MaxCycles: 1 << 40}, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		tlbConsistent(t, m, arch.String())
+	}
+}
+
+// TestTLBShootdownOnEvict exercises the eviction path directly: after an
+// S-COMA page is evicted under pure S-COMA (which unmaps it), the node's
+// TLB must not return the dead translation.
+func TestTLBShootdownOnEvict(t *testing.T) {
+	gen, err := workload.New("uniform", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{Arch: params.SCOMA, Pressure: 50, MaxCycles: 1 << 40}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := m.nodes[0]
+	// Map a remote page S-COMA and cache its translation, as access() does.
+	page := tlbTestPage(uint64(gen.HomePagesPerNode()) + 1)
+	m.dir.ForceHome(page, 1)
+	pte := nd.vmm.MapSCOMA(page, 1)
+	if pte == nil {
+		t.Fatal("MapSCOMA failed with a full free pool")
+	}
+	nd.tlb.insert(page, pte)
+
+	m.evict(nd, pte)
+
+	if got := nd.tlb.lookup(page); got != nil {
+		t.Fatalf("TLB still returns %p for an unmapped page", got)
+	}
+	if nd.vmm.Lookup(page) != nil {
+		t.Fatal("pure S-COMA eviction should have unmapped the page")
+	}
+}

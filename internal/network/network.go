@@ -19,11 +19,16 @@ type Net struct {
 	fallThrough int64
 	portOcc     int64
 	inPort      []sim.Resource // one input port per node
+
+	// lat caches the uncontended one-way latency for every node pair
+	// (row-major, nodes*nodes entries): the topology is static, and the
+	// per-message hop walk was one of the simulator's hottest functions.
+	lat []sim.Time
 }
 
 // New builds the interconnect for the given configuration.
 func New(p *params.Params) *Net {
-	return &Net{
+	n := &Net{
 		nodes:       p.Nodes,
 		radix:       p.SwitchRadix,
 		prop:        p.NetPropCycles,
@@ -31,6 +36,14 @@ func New(p *params.Params) *Net {
 		portOcc:     p.NetPortOccupancy,
 		inPort:      make([]sim.Resource, p.Nodes),
 	}
+	n.lat = make([]sim.Time, p.Nodes*p.Nodes)
+	for from := 0; from < p.Nodes; from++ {
+		for to := 0; to < p.Nodes; to++ {
+			h := int64(n.Hops(from, to))
+			n.lat[from*p.Nodes+to] = h*(n.prop+n.fallThrough) + n.prop
+		}
+	}
+	return n
 }
 
 // Hops returns the number of switch traversals between two nodes in the
@@ -53,8 +66,7 @@ func (n *Net) Hops(from, to int) int {
 // Latency returns the uncontended one-way latency of a message from one
 // node to another.
 func (n *Net) Latency(from, to int) sim.Time {
-	h := int64(n.Hops(from, to))
-	return h*(n.prop+n.fallThrough) + n.prop
+	return n.lat[from*n.nodes+to]
 }
 
 // Send delivers a message from node `from` to node `to`, leaving at time t.

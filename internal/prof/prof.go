@@ -1,0 +1,49 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the command-line
+// tools to runtime/pprof. Both cmd/sweep and cmd/ascoma-sim expose the same
+// pair of flags; this package keeps the start/stop plumbing in one place.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling if cpuFile is non-empty and returns a stop
+// function that must run before the process exits: it finishes the CPU
+// profile and, if memFile is non-empty, writes a heap profile (after a GC,
+// so the profile reflects live data rather than collectable garbage).
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memFile != "" {
+			memOut, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer memOut.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memOut); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"ascoma/internal/addr"
+	"ascoma/internal/dense"
 	"ascoma/internal/params"
 )
 
@@ -119,9 +120,14 @@ type VM struct {
 	freeMin    int
 	freeTarget int
 
-	pt   map[addr.Page]*PTE
-	ring []*PTE // S-COMA pages, scanned by the clock hand
-	hand int
+	// pt is keyed by the dense page index: a PTE lives value-typed inside
+	// its chunk, so installing a mapping allocates nothing beyond the
+	// (amortized) chunk, and *PTE pointers handed out by Lookup stay valid
+	// for the life of the VM. Mode == ModeNone marks a free slot.
+	ptCount int
+	pt      dense.Table[PTE]
+	ring    []*PTE // S-COMA pages, scanned by the clock hand
+	hand    int
 }
 
 // New builds a node VM with the given physical page count and thresholds
@@ -133,7 +139,6 @@ func New(node, totalPages, freeMinPct, freeTargetPct int) *VM {
 		free:       totalPages,
 		freeMin:    totalPages * freeMinPct / 100,
 		freeTarget: totalPages * freeTargetPct / 100,
-		pt:         make(map[addr.Page]*PTE),
 	}
 	if v.freeMin < 1 {
 		v.freeMin = 1
@@ -166,7 +171,28 @@ func (v *VM) FreeMin() int { return v.freeMin }
 func (v *VM) FreeTarget() int { return v.freeTarget }
 
 // Lookup returns the PTE for page p, or nil if unmapped (page fault).
-func (v *VM) Lookup(p addr.Page) *PTE { return v.pt[p] }
+func (v *VM) Lookup(p addr.Page) *PTE {
+	idx, ok := p.Index()
+	if !ok {
+		return nil
+	}
+	pte := v.pt.Get(int(idx))
+	if pte == nil || pte.Mode == ModeNone {
+		return nil
+	}
+	return pte
+}
+
+// install claims the slot for page p and resets every field (the slot may
+// hold stale state from a mapping unmapped earlier).
+func (v *VM) install(p addr.Page, mode Mode, home int) *PTE {
+	pte := v.pt.GetOrCreate(int(p.MustIndex()))
+	if pte.Mode == ModeNone {
+		v.ptCount++
+	}
+	*pte = PTE{Page: p, Mode: mode, Home: home, ring: -1}
+	return pte
+}
 
 // MapLocal installs a home or private mapping (no page-cache page is
 // consumed: home pages were reserved up front).
@@ -174,16 +200,12 @@ func (v *VM) MapLocal(p addr.Page, mode Mode) *PTE {
 	if mode != ModeHome && mode != ModePrivate {
 		panic("vm: MapLocal requires ModeHome or ModePrivate")
 	}
-	pte := &PTE{Page: p, Mode: mode, Home: v.Node, ring: -1}
-	v.pt[p] = pte
-	return pte
+	return v.install(p, mode, v.Node)
 }
 
 // MapNUMA installs a CC-NUMA mapping of a remote page (no local storage).
 func (v *VM) MapNUMA(p addr.Page, home int) *PTE {
-	pte := &PTE{Page: p, Mode: ModeNUMA, Home: home, ring: -1}
-	v.pt[p] = pte
-	return pte
+	return v.install(p, ModeNUMA, home)
 }
 
 // MapSCOMA installs an S-COMA mapping backed by a page from the free pool.
@@ -194,8 +216,7 @@ func (v *VM) MapSCOMA(p addr.Page, home int) *PTE {
 		return nil
 	}
 	v.free--
-	pte := &PTE{Page: p, Mode: ModeSCOMA, Home: home, ring: -1}
-	v.pt[p] = pte
+	pte := v.install(p, ModeSCOMA, home)
 	v.enroll(pte)
 	return pte
 }
@@ -260,8 +281,8 @@ func (v *VM) Unmap(pte *PTE) {
 	if pte.Mode == ModeSCOMA {
 		panic("vm: Unmap of a page still holding a page-cache page (Downgrade first)")
 	}
-	delete(v.pt, pte.Page)
 	pte.Mode = ModeNone
+	v.ptCount--
 }
 
 func (v *VM) enroll(pte *PTE) {
@@ -344,10 +365,10 @@ func (v *VM) ForceVictim() *PTE {
 }
 
 // PageOfBlock returns the PTE covering block b, or nil.
-func (v *VM) PageOfBlock(b addr.Block) *PTE { return v.pt[b.Page()] }
+func (v *VM) PageOfBlock(b addr.Block) *PTE { return v.Lookup(b.Page()) }
 
 // Pages returns the number of installed mappings (for tests).
-func (v *VM) Pages() int { return len(v.pt) }
+func (v *VM) Pages() int { return v.ptCount }
 
 // BlocksPerPageMask is the all-valid mask for a page's 32 blocks.
 const BlocksPerPageMask uint32 = 1<<params.BlocksPerPage - 1

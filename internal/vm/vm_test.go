@@ -9,6 +9,12 @@ import (
 
 func newVM(total int) *VM { return New(0, total, 2, 7) }
 
+// tpage places a small test ordinal inside the legal shared region: the
+// dense page table only covers the shared + private address regions.
+func tpage[T ~int | ~uint64](n T) addr.Page {
+	return addr.PageOf(addr.SharedBase) + addr.Page(n)
+}
+
 func TestThresholdsFromPercent(t *testing.T) {
 	v := New(0, 1000, 2, 7)
 	if v.FreeMin() != 20 || v.FreeTarget() != 70 {
@@ -41,15 +47,15 @@ func TestReserveHome(t *testing.T) {
 
 func TestMapLocalModes(t *testing.T) {
 	v := newVM(10)
-	pte := v.MapLocal(addr.Page(1), ModeHome)
+	pte := v.MapLocal(tpage(1), ModeHome)
 	if pte.Mode != ModeHome || pte.Home != 0 {
 		t.Errorf("home PTE: %+v", pte)
 	}
 	if v.Free() != 10 {
 		t.Error("MapLocal consumed the pool")
 	}
-	v.MapLocal(addr.Page(2), ModePrivate)
-	if v.Lookup(addr.Page(2)).Mode != ModePrivate {
+	v.MapLocal(tpage(2), ModePrivate)
+	if v.Lookup(tpage(2)).Mode != ModePrivate {
 		t.Error("private mapping lost")
 	}
 }
@@ -61,20 +67,20 @@ func TestMapLocalRejectsRemoteModes(t *testing.T) {
 			t.Error("MapLocal accepted ModeNUMA")
 		}
 	}()
-	v.MapLocal(addr.Page(3), ModeNUMA)
+	v.MapLocal(tpage(3), ModeNUMA)
 }
 
 func TestMapSCOMAConsumesPool(t *testing.T) {
 	v := newVM(3)
 	for i := 0; i < 3; i++ {
-		if v.MapSCOMA(addr.Page(uint64(i)), 1) == nil {
+		if v.MapSCOMA(tpage(uint64(i)), 1) == nil {
 			t.Fatalf("map %d failed with pool %d", i, v.Free())
 		}
 	}
 	if v.Free() != 0 {
 		t.Errorf("free = %d, want 0", v.Free())
 	}
-	if v.MapSCOMA(addr.Page(99), 1) != nil {
+	if v.MapSCOMA(tpage(99), 1) != nil {
 		t.Error("map succeeded with empty pool")
 	}
 	if v.SComaPages() != 3 {
@@ -84,7 +90,7 @@ func TestMapSCOMAConsumesPool(t *testing.T) {
 
 func TestUpgradeDowngradeCycle(t *testing.T) {
 	v := newVM(2)
-	pte := v.MapNUMA(addr.Page(5), 1)
+	pte := v.MapNUMA(tpage(5), 1)
 	if pte.Mode != ModeNUMA {
 		t.Fatal("MapNUMA mode wrong")
 	}
@@ -109,8 +115,8 @@ func TestUpgradeDowngradeCycle(t *testing.T) {
 
 func TestUpgradeFailsWhenPoolEmpty(t *testing.T) {
 	v := newVM(1)
-	v.MapSCOMA(addr.Page(1), 1)
-	pte := v.MapNUMA(addr.Page(2), 1)
+	v.MapSCOMA(tpage(1), 1)
+	pte := v.MapNUMA(tpage(2), 1)
 	if v.Upgrade(pte) {
 		t.Error("upgrade succeeded with empty pool")
 	}
@@ -121,7 +127,7 @@ func TestUpgradeFailsWhenPoolEmpty(t *testing.T) {
 
 func TestUpgradeRequiresNUMA(t *testing.T) {
 	v := newVM(5)
-	pte := v.MapSCOMA(addr.Page(1), 1)
+	pte := v.MapSCOMA(tpage(1), 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("Upgrade of SCOMA page did not panic")
@@ -132,7 +138,7 @@ func TestUpgradeRequiresNUMA(t *testing.T) {
 
 func TestDowngradeRequiresSCOMA(t *testing.T) {
 	v := newVM(5)
-	pte := v.MapNUMA(addr.Page(1), 1)
+	pte := v.MapNUMA(tpage(1), 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("Downgrade of NUMA page did not panic")
@@ -143,10 +149,10 @@ func TestDowngradeRequiresSCOMA(t *testing.T) {
 
 func TestUnmap(t *testing.T) {
 	v := newVM(5)
-	pte := v.MapSCOMA(addr.Page(1), 1)
+	pte := v.MapSCOMA(tpage(1), 1)
 	v.Downgrade(pte)
 	v.Unmap(pte)
-	if v.Lookup(addr.Page(1)) != nil {
+	if v.Lookup(tpage(1)) != nil {
 		t.Error("Unmap left the mapping")
 	}
 	if pte.Mode != ModeNone {
@@ -156,7 +162,7 @@ func TestUnmap(t *testing.T) {
 
 func TestUnmapSCOMAPanics(t *testing.T) {
 	v := newVM(5)
-	pte := v.MapSCOMA(addr.Page(1), 1)
+	pte := v.MapSCOMA(tpage(1), 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("Unmap of live SCOMA page did not panic")
@@ -204,8 +210,8 @@ func TestOwnedBits(t *testing.T) {
 
 func TestClockSecondChance(t *testing.T) {
 	v := newVM(4)
-	a := v.MapSCOMA(addr.Page(1), 1)
-	b := v.MapSCOMA(addr.Page(2), 1)
+	a := v.MapSCOMA(tpage(1), 1)
+	b := v.MapSCOMA(tpage(2), 1)
 	a.RefBit, b.RefBit = true, true
 
 	// First sweep clears both bits and finds no victim.
@@ -234,8 +240,8 @@ func TestClockScanEmpty(t *testing.T) {
 
 func TestForceVictimAlwaysFinds(t *testing.T) {
 	v := newVM(4)
-	a := v.MapSCOMA(addr.Page(1), 1)
-	b := v.MapSCOMA(addr.Page(2), 1)
+	a := v.MapSCOMA(tpage(1), 1)
+	b := v.MapSCOMA(tpage(2), 1)
 	a.RefBit, b.RefBit = true, true
 	victim := v.ForceVictim()
 	if victim == nil {
@@ -248,8 +254,8 @@ func TestForceVictimAlwaysFinds(t *testing.T) {
 
 func TestForceVictimPrefersCold(t *testing.T) {
 	v := newVM(4)
-	a := v.MapSCOMA(addr.Page(1), 1)
-	b := v.MapSCOMA(addr.Page(2), 1)
+	a := v.MapSCOMA(tpage(1), 1)
+	b := v.MapSCOMA(tpage(2), 1)
 	a.RefBit, b.RefBit = true, false
 	if victim := v.ForceVictim(); victim != b {
 		t.Errorf("ForceVictim chose %v, want the cold page", victim.Page)
@@ -265,11 +271,11 @@ func TestForceVictimEmpty(t *testing.T) {
 
 func TestPageOfBlock(t *testing.T) {
 	v := newVM(4)
-	pte := v.MapSCOMA(addr.Page(6), 1)
-	if v.PageOfBlock(addr.Page(6).BlockAt(5)) != pte {
+	pte := v.MapSCOMA(tpage(6), 1)
+	if v.PageOfBlock(tpage(6).BlockAt(5)) != pte {
 		t.Error("PageOfBlock missed")
 	}
-	if v.PageOfBlock(addr.Page(7).BlockAt(0)) != nil {
+	if v.PageOfBlock(tpage(7).BlockAt(0)) != nil {
 		t.Error("PageOfBlock invented a mapping")
 	}
 }
@@ -299,12 +305,12 @@ func TestPoolConservationProperty(t *testing.T) {
 		for _, op := range ops {
 			switch op % 4 {
 			case 0: // map SCOMA
-				if pte := v.MapSCOMA(addr.Page(next), 1); pte != nil {
+				if pte := v.MapSCOMA(tpage(next), 1); pte != nil {
 					scoma = append(scoma, pte)
 				}
 				next++
 			case 1: // map NUMA
-				numa = append(numa, v.MapNUMA(addr.Page(next), 1))
+				numa = append(numa, v.MapNUMA(tpage(next), 1))
 				next++
 			case 2: // upgrade a NUMA page
 				if len(numa) > 0 {
@@ -343,7 +349,7 @@ func TestClockScanNeverEvictsReferencedProperty(t *testing.T) {
 		v := New(0, 40, 2, 7)
 		var pages []*PTE
 		for i := 0; i < 16; i++ {
-			pte := v.MapSCOMA(addr.Page(uint64(i+1)), 1)
+			pte := v.MapSCOMA(tpage(uint64(i+1)), 1)
 			pte.RefBit = hotMask&(1<<uint(i)) != 0
 			pages = append(pages, pte)
 		}
@@ -373,7 +379,7 @@ func TestAdoptAndReleaseHomePage(t *testing.T) {
 	}
 	// Drain the pool; adoption must fail.
 	for i := 0; i < 4; i++ {
-		v.MapSCOMA(addr.Page(uint64(i+1)), 1)
+		v.MapSCOMA(tpage(uint64(i+1)), 1)
 	}
 	if v.AdoptHomePage() {
 		t.Error("adopt succeeded with empty pool")
@@ -382,9 +388,9 @@ func TestAdoptAndReleaseHomePage(t *testing.T) {
 
 func TestPagesCountsMappings(t *testing.T) {
 	v := newVM(8)
-	v.MapLocal(addr.Page(1), ModeHome)
-	v.MapNUMA(addr.Page(2), 1)
-	v.MapSCOMA(addr.Page(3), 1)
+	v.MapLocal(tpage(1), ModeHome)
+	v.MapNUMA(tpage(2), 1)
+	v.MapSCOMA(tpage(3), 1)
 	if v.Pages() != 3 {
 		t.Errorf("Pages = %d, want 3", v.Pages())
 	}
@@ -394,7 +400,7 @@ func TestUnenrollAdjustsClockHand(t *testing.T) {
 	v := newVM(8)
 	var ptes []*PTE
 	for i := 0; i < 4; i++ {
-		pte := v.MapSCOMA(addr.Page(uint64(i+1)), 1)
+		pte := v.MapSCOMA(tpage(uint64(i+1)), 1)
 		pte.RefBit = false
 		ptes = append(ptes, pte)
 	}
