@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench race clean
+.PHONY: all build test verify bench race clean serve-smoke
 
 all: build
 
@@ -10,14 +10,21 @@ build:
 test:
 	$(GO) test ./...
 
+# serve-smoke builds ascoma-serve, starts it on an ephemeral port, hits
+# /healthz and a figure endpoint twice (the second render must be a pure
+# cache hit), and drains gracefully.
+serve-smoke:
+	$(GO) run ./cmd/ascoma-serve -smoke
+
 # verify is the pre-commit gate: vet, build, the full test suite (including
-# the golden determinism test), and a short race-detector smoke over the
-# internal packages.
+# the golden determinism test), a short race-detector smoke over the
+# internal packages, and the server smoke test.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./internal/...
+	$(GO) run ./cmd/ascoma-serve -smoke
 
 # bench runs the two benchmarks tracked in BENCH_PR1.json.
 bench:

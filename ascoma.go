@@ -25,6 +25,7 @@
 package ascoma
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -122,16 +123,30 @@ type Result struct {
 
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one simulation under a context. Cancellation is
+// polled every few hundred dispatched events, so a mid-run cancel aborts
+// within well under a millisecond of simulation work; an already-cancelled
+// context returns before any simulation happens. The returned error wraps
+// ctx.Err() on cancellation.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	gen, err := workload.New(cfg.Workload, max(cfg.Scale, 1))
 	if err != nil {
 		return nil, err
 	}
-	return RunGenerator(cfg, gen)
+	return RunGeneratorContext(ctx, cfg, gen)
 }
 
 // RunGenerator executes one simulation on a caller-supplied workload
 // generator (for custom workloads built with the workload package).
 func RunGenerator(cfg Config, gen workload.Generator) (*Result, error) {
+	return RunGeneratorContext(context.Background(), cfg, gen)
+}
+
+// RunGeneratorContext is RunGenerator under a context (see RunContext).
+func RunGeneratorContext(ctx context.Context, cfg Config, gen workload.Generator) (*Result, error) {
 	mcfg := machine.Config{
 		Arch:           cfg.Arch,
 		Pressure:       cfg.Pressure,
@@ -155,7 +170,7 @@ func RunGenerator(cfg Config, gen workload.Generator) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := m.Run()
+	st, err := m.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,349 @@
+// Command ascoma-serve exposes the simulator as an HTTP service backed by
+// the shared run-orchestration layer: a bounded worker pool, a
+// content-addressed result cache (optionally persisted with -cachedir),
+// per-request timeouts, and graceful drain on SIGTERM/SIGINT.
+//
+// Endpoints:
+//
+//	POST /api/v1/run          {"arch":"AS-COMA","workload":"radix","pressure":70,"scale":8}
+//	GET  /api/v1/figure/{app} ?format=table|csv|chart&pressures=10,90&scale=8
+//	GET  /healthz
+//	GET  /debug/vars          expvar: cache hit rate, in-flight runs, per-arch latency
+//
+// Identical concurrent requests collapse onto one simulation
+// (singleflight), and repeated requests are served from the cache.
+//
+//	ascoma-serve -addr :8372 -cachedir /var/cache/ascoma -jobs 8
+//	ascoma-serve -smoke      # self-test: start, probe, drain, exit
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ascoma"
+	"ascoma/internal/report"
+	"ascoma/internal/runcache"
+	"ascoma/internal/stats"
+)
+
+var (
+	addr       = flag.String("addr", "127.0.0.1:8372", "listen address")
+	cacheDir   = flag.String("cachedir", "", "persist simulation results in this directory")
+	cacheSize  = flag.Int("cachesize", 1024, "in-memory result cache entries")
+	jobs       = flag.Int("jobs", runtime.NumCPU(), "maximum concurrent simulations")
+	reqTimeout = flag.Duration("timeout", 5*time.Minute, "per-request simulation timeout")
+	drainWait  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+	smoke      = flag.Bool("smoke", false, "self-test: serve on a random port, probe the endpoints, drain, exit")
+)
+
+// server holds the orchestration layer and the request-level metrics.
+type server struct {
+	runner  *runcache.Runner
+	cache   *runcache.Cache
+	timeout time.Duration
+
+	archRuns  *expvar.Map // completed runs per architecture
+	archNanos *expvar.Map // cumulative simulation latency per architecture
+}
+
+func newServer(cache *runcache.Cache, jobs int, timeout time.Duration) *server {
+	return &server{
+		runner:    &runcache.Runner{Cache: cache, Jobs: jobs},
+		cache:     cache,
+		timeout:   timeout,
+		archRuns:  new(expvar.Map).Init(),
+		archNanos: new(expvar.Map).Init(),
+	}
+}
+
+// publishVars registers the service metrics with expvar. Guarded for the
+// tests, which build several servers per process; the first server's
+// closures win, matching the one-server-per-process deployment.
+var publishOnce sync.Once
+
+func (s *server) publishVars() {
+	publishOnce.Do(func() {
+		expvar.Publish("ascoma_cache", expvar.Func(func() any { return s.cache.Stats() }))
+		expvar.Publish("ascoma_inflight_runs", expvar.Func(func() any { return s.runner.InFlight() }))
+		expvar.Publish("ascoma_runs", s.archRuns)
+		expvar.Publish("ascoma_run_nanos", s.archNanos)
+	})
+}
+
+func (s *server) handler() http.Handler {
+	s.publishVars()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n") //nolint:errcheck // client-side failure
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("POST /api/v1/run", s.handleRun)
+	mux.HandleFunc("GET /api/v1/figure/{app}", s.handleFigure)
+	return mux
+}
+
+// runRequest is the POST /api/v1/run body.
+type runRequest struct {
+	Arch           string `json:"arch"`
+	Workload       string `json:"workload"`
+	Pressure       int    `json:"pressure"`
+	Scale          int    `json:"scale"`
+	MaxCycles      int64  `json:"maxCycles"`
+	SampleInterval int64  `json:"sampleInterval"`
+}
+
+// runResponse wraps the flattened statistics report.
+type runResponse struct {
+	Result  stats.JSONReport `json:"result"`
+	Samples []ascoma.Sample  `json:"samples,omitempty"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	arch, err := ascoma.ParseArch(req.Arch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !slices.Contains(ascoma.Workloads(), req.Workload) {
+		http.Error(w, fmt.Sprintf("unknown workload %q (registered: %s)",
+			req.Workload, strings.Join(ascoma.Workloads(), ", ")), http.StatusBadRequest)
+		return
+	}
+	if req.Pressure < 1 || req.Pressure > 99 {
+		http.Error(w, fmt.Sprintf("pressure %d out of range [1,99]", req.Pressure), http.StatusBadRequest)
+		return
+	}
+	cfg := ascoma.Config{
+		Arch:           arch,
+		Workload:       req.Workload,
+		Pressure:       req.Pressure,
+		Scale:          req.Scale,
+		MaxCycles:      req.MaxCycles,
+		SampleInterval: req.SampleInterval,
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := s.runner.Run(ctx, cfg)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.archRuns.Add(arch.String(), 1)
+	s.archNanos.Add(arch.String(), time.Since(start).Nanoseconds())
+
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(runResponse{Result: stats.Report(res.Machine), Samples: res.Samples}); err != nil {
+		log.Printf("run response: %v", err)
+	}
+}
+
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	if !slices.Contains(ascoma.Workloads(), app) {
+		http.Error(w, fmt.Sprintf("unknown workload %q (registered: %s)",
+			app, strings.Join(ascoma.Workloads(), ", ")), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	opts := report.Options{Runner: s.runner}
+	switch format := q.Get("format"); format {
+	case "", "table", "csv", "chart":
+		opts.Format = format
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (table, csv, chart)", format), http.StatusBadRequest)
+		return
+	}
+	if v := q.Get("scale"); v != "" {
+		scale, err := strconv.Atoi(v)
+		if err != nil || scale < 1 {
+			http.Error(w, "scale must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		opts.Scale = scale
+	}
+	if v := q.Get("pressures"); v != "" {
+		plist, err := report.ParsePressures(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts.Pressures = plist
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	// Render into a buffer so a mid-grid failure returns a clean error
+	// instead of a truncated document.
+	var buf strings.Builder
+	start := time.Now()
+	if err := report.Figure(ctx, &buf, app, opts); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.archRuns.Add("figure", 1)
+	s.archNanos.Add("figure", time.Since(start).Nanoseconds())
+	if opts.Format == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	io.WriteString(w, buf.String()) //nolint:errcheck // client-side failure
+}
+
+func main() {
+	flag.Parse()
+
+	var cache *runcache.Cache
+	var err error
+	cache, err = runcache.New(*cacheSize, *cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := newServer(cache, *jobs, *reqTimeout)
+
+	if *smoke {
+		if err := runSmoke(s); err != nil {
+			log.Fatalf("smoke: %v", err)
+		}
+		fmt.Println("ascoma-serve smoke ok:", cache.Stats())
+		return
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ascoma-serve listening on %s (jobs=%d cache=%d entries, dir=%q)",
+			*addr, *jobs, *cacheSize, *cacheDir)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("ascoma-serve draining (up to %v)...", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Printf("ascoma-serve stopped; cache %s", cache.Stats())
+}
+
+// runSmoke starts the server on an ephemeral port, exercises /healthz, a
+// figure (twice, asserting the second render simulates nothing new), and a
+// run request, then drains. It is the make serve-smoke target.
+func runSmoke(s *server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	get := func(url string) (string, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+		}
+		return string(body), nil
+	}
+
+	if body, err := get(base + "/healthz"); err != nil {
+		return err
+	} else if !strings.Contains(body, "ok") {
+		return fmt.Errorf("healthz: %q", body)
+	}
+
+	figURL := base + "/api/v1/figure/uniform?scale=16&pressures=10,90"
+	if _, err := get(figURL); err != nil {
+		return err
+	}
+	simsAfterFirst := s.cache.Stats().Sims
+	body, err := get(figURL)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(body, "relative execution time") {
+		return fmt.Errorf("figure body missing table: %q", body)
+	}
+	if sims := s.cache.Stats().Sims; sims != simsAfterFirst {
+		return fmt.Errorf("second figure render simulated %d new runs, want 0", sims-simsAfterFirst)
+	}
+
+	resp, err := client.Post(base+"/api/v1/run", "application/json",
+		strings.NewReader(`{"arch":"AS-COMA","workload":"uniform","pressure":70,"scale":16}`))
+	if err != nil {
+		return err
+	}
+	runBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST run: %s: %s", resp.Status, runBody)
+	}
+	if !strings.Contains(string(runBody), "execTimeCycles") {
+		return fmt.Errorf("run body missing stats: %q", runBody)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ascoma/internal/runcache"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	cache, err := runcache.New(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(cache, 4, time.Minute)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	post := func() map[string]any {
+		resp, err := http.Post(ts.URL+"/api/v1/run", "application/json",
+			strings.NewReader(`{"arch":"AS-COMA","workload":"uniform","pressure":70,"scale":32}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run: %d %s", resp.StatusCode, body)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("run response not JSON: %v\n%s", err, body)
+		}
+		return out
+	}
+	out := post()
+	result, ok := out["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("response missing result: %v", out)
+	}
+	if result["arch"] != "AS-COMA" || result["workload"] != "uniform" {
+		t.Errorf("result echo wrong: arch=%v workload=%v", result["arch"], result["workload"])
+	}
+	if exec, ok := result["execTimeCycles"].(float64); !ok || exec <= 0 {
+		t.Errorf("execTimeCycles = %v", result["execTimeCycles"])
+	}
+
+	// An identical request is a pure cache hit: no new simulation.
+	sims := s.cache.Stats().Sims
+	post()
+	if got := s.cache.Stats().Sims; got != sims {
+		t.Errorf("repeat request simulated %d new runs", got-sims)
+	}
+	if st := s.cache.Stats(); st.MemHits == 0 {
+		t.Errorf("no memory hit recorded: %+v", st)
+	}
+}
+
+func TestRunEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"arch":"NOPE","workload":"uniform","pressure":50}`,
+		`{"arch":"AS-COMA","workload":"nonexistent","pressure":50}`,
+		`{"arch":"AS-COMA","workload":"uniform","pressure":0}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestFigureEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	url := ts.URL + "/api/v1/figure/uniform?scale=16&pressures=10,90&format=csv"
+	get := func() string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("figure: %d %s", resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/csv") {
+			t.Errorf("content type %q", ct)
+		}
+		return string(body)
+	}
+	first := get()
+	if !strings.HasPrefix(first, "config,total,") {
+		t.Errorf("csv body: %q", first)
+	}
+	sims := s.cache.Stats().Sims
+	if sims == 0 {
+		t.Fatal("figure render hit an empty cache")
+	}
+	second := get()
+	if got := s.cache.Stats().Sims; got != sims {
+		t.Errorf("repeat figure simulated %d new runs", got-sims)
+	}
+	if first != second {
+		t.Error("cached figure differs from fresh figure")
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/figure/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown app: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestExpvarExposed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/vars: %d", resp.StatusCode)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+	for _, key := range []string{"ascoma_cache", "ascoma_inflight_runs", "ascoma_runs"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("expvar missing %s", key)
+		}
+	}
+}
+
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke covered by endpoint tests")
+	}
+	cache, err := runcache.New(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runSmoke(newServer(cache, 4, time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+}

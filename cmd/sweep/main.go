@@ -2,8 +2,11 @@
 // memory-pressure grids behind Figures 2 and 3 (relative execution time and
 // where misses were satisfied, per application), Tables 5 and 6 (workload
 // inventory and relocated-page counts), and the extension sensitivity
-// studies. Runs execute in parallel across CPUs. The rendering lives in
-// internal/report; this command only parses flags.
+// studies. Runs execute in parallel across CPUs through the shared
+// run-orchestration layer: Ctrl-C cancels outstanding simulations, and
+// -cachedir memoizes results on disk so a repeated sweep re-simulates
+// nothing. The rendering lives in internal/report; this command only
+// parses flags.
 //
 // Usage:
 //
@@ -18,17 +21,25 @@
 //	sweep -sensitivity rac       # RAC-size study
 //	sweep -sensitivity nodes     # machine-size scaling study
 //	sweep -scale 4 -csv          # smaller problems, CSV output
+//	sweep -cachedir ~/.ascoma    # reuse previous results where possible
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"slices"
+	"strings"
+	"syscall"
 
+	"ascoma"
 	"ascoma/internal/prof"
 	"ascoma/internal/report"
+	"ascoma/internal/runcache"
 )
 
 var (
@@ -42,6 +53,7 @@ var (
 	sensitivity = flag.String("sensitivity", "", "run a design-choice sensitivity study: 'threshold', 'rac', or 'nodes'")
 	svgDir      = flag.String("svg", "", "also write the figures as SVG files into this directory")
 	jobs        = flag.Int("jobs", runtime.NumCPU(), "parallel simulations")
+	cacheDir    = flag.String("cachedir", "", "persist simulation results in this directory and reuse them across invocations")
 	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -61,11 +73,31 @@ func main() {
 	}
 	defer func() { run(stopProf()) }()
 
+	// Ctrl-C / SIGTERM cancels outstanding simulations via the context
+	// plumbed through the orchestration layer.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if !report.ValidFigure(*fig) {
+		fail(fmt.Errorf("sweep: unknown figure %d (2 or 3; 0 = both)", *fig))
+	}
 	plist, err := report.ParsePressures(*pressures)
 	if err != nil {
 		fail(err)
 	}
-	opts := report.Options{Scale: *scale, Pressures: plist, Jobs: *jobs}
+
+	var cache *runcache.Cache
+	if *cacheDir != "" {
+		cache, err = runcache.New(0, *cacheDir)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			fmt.Fprintf(os.Stderr, "sweep: cache %s\n", cache.Stats())
+		}()
+	}
+	runner := &runcache.Runner{Cache: cache, Jobs: *jobs}
+	opts := report.Options{Scale: *scale, Pressures: plist, Jobs: *jobs, Runner: runner}
 	switch {
 	case *csv:
 		opts.Format = "csv"
@@ -76,6 +108,10 @@ func main() {
 	var apps []string
 	switch {
 	case *app != "":
+		if !slices.Contains(ascoma.Workloads(), *app) {
+			fail(fmt.Errorf("sweep: unknown application %q (registered: %s)",
+				*app, strings.Join(ascoma.Workloads(), ", ")))
+		}
 		apps = []string{*app}
 	default:
 		apps = report.FigureApps(*fig)
@@ -83,10 +119,10 @@ func main() {
 
 	switch *table {
 	case 5:
-		run(report.Table5(os.Stdout, apps, opts))
+		run(report.Table5(ctx, os.Stdout, apps, opts))
 		return
 	case 6:
-		run(report.Table6(os.Stdout, apps, opts))
+		run(report.Table6(ctx, os.Stdout, apps, opts))
 		return
 	case 0:
 	default:
@@ -95,13 +131,13 @@ func main() {
 
 	switch *sensitivity {
 	case "threshold":
-		run(report.SensitivityThreshold(os.Stdout, opts))
+		run(report.SensitivityThreshold(ctx, os.Stdout, opts))
 		return
 	case "rac":
-		run(report.SensitivityRAC(os.Stdout, opts))
+		run(report.SensitivityRAC(ctx, os.Stdout, opts))
 		return
 	case "nodes":
-		run(report.SensitivityNodes(os.Stdout, opts))
+		run(report.SensitivityNodes(ctx, os.Stdout, opts))
 		return
 	case "":
 	default:
@@ -109,16 +145,16 @@ func main() {
 	}
 
 	for _, a := range apps {
-		run(report.Figure(os.Stdout, a, opts))
+		run(report.Figure(ctx, os.Stdout, a, opts))
 		if *svgDir != "" {
-			run(writeSVGs(*svgDir, a, opts))
+			run(writeSVGs(ctx, *svgDir, a, opts))
 		}
 	}
 }
 
 // writeSVGs renders one application's two panels into <dir>/<app>_time.svg
 // and <dir>/<app>_misses.svg.
-func writeSVGs(dir, app string, opts report.Options) error {
+func writeSVGs(ctx context.Context, dir, app string, opts report.Options) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -132,7 +168,7 @@ func writeSVGs(dir, app string, opts report.Options) error {
 		return err
 	}
 	defer missF.Close()
-	if err := report.FigureSVG(timeF, missF, app, opts); err != nil {
+	if err := report.FigureSVG(ctx, timeF, missF, app, opts); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s_time.svg and %s_misses.svg to %s\n", app, app, dir)

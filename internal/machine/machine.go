@@ -7,6 +7,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"ascoma/internal/addr"
@@ -338,16 +339,43 @@ func (m *Machine) onWriteback(nodeID int, b addr.Block, invalidate bool) {
 
 // Run drives the simulation to completion and returns the statistics.
 func (m *Machine) Run() (*stats.Machine, error) {
+	return m.RunContext(context.Background())
+}
+
+// ctxPollEvents is the number of dispatched events between context polls.
+// One event advances a node by at most one quantum (~100 cycles), so a poll
+// every 256 events keeps cancellation latency well under a millisecond of
+// wall time while the ctx.Err() load stays off the per-reference path.
+const ctxPollEvents = 256
+
+// RunContext drives the simulation to completion, aborting early if ctx is
+// cancelled. Cancellation, MaxCycles, and runtime protocol errors all leave
+// through the same abort path; a cancelled run returns an error wrapping
+// ctx.Err(). The poll cadence never changes event order, so a run that
+// completes is bit-identical to one driven by Run.
+func (m *Machine) RunContext(ctx context.Context) (*stats.Machine, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("machine: run not started: %w", err)
+	}
 	for i := range m.nodes {
 		m.q.Push(sim.Event{Time: 0, Kind: sim.EvProc, Node: i})
 	}
-	for {
+	poll := 0
+	for m.aborted == nil {
 		ev, ok := m.q.Pop()
 		if !ok {
 			break
 		}
+		if poll++; poll >= ctxPollEvents {
+			poll = 0
+			if err := ctx.Err(); err != nil {
+				m.aborted = fmt.Errorf("machine: run aborted at cycle %d: %w", ev.Time, err)
+				break
+			}
+		}
 		if m.cfg.MaxCycles > 0 && ev.Time > m.cfg.MaxCycles {
-			return nil, fmt.Errorf("machine: exceeded MaxCycles=%d (arch=%v workload=%s)", m.cfg.MaxCycles, m.cfg.Arch, m.gen.Name())
+			m.aborted = fmt.Errorf("machine: exceeded MaxCycles=%d (arch=%v workload=%s)", m.cfg.MaxCycles, m.cfg.Arch, m.gen.Name())
+			break
 		}
 		m.runNode(m.nodes[ev.Node], ev.Time)
 	}

@@ -3,9 +3,14 @@
 // and 6, and the extension studies (threshold/RAC/machine-size
 // sensitivity) — as text tables, paper-style stacked bar charts, or CSV.
 // The cmd/sweep tool is a thin flag wrapper around this package.
+//
+// All simulations flow through a shared runcache.Runner: one semaphore
+// bounds parallelism, one cache memoizes identical cells, and one context
+// tree cancels outstanding work the moment anything fails.
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -14,6 +19,7 @@ import (
 	"sync"
 
 	"ascoma"
+	"ascoma/internal/runcache"
 	"ascoma/internal/stats"
 	"ascoma/internal/workload"
 )
@@ -26,8 +32,13 @@ type Options struct {
 	Pressures []int
 	// Format selects the rendering: "table" (default), "chart", "csv".
 	Format string
-	// Jobs bounds parallel simulations (default NumCPU).
+	// Jobs bounds parallel simulations (default NumCPU). Ignored when
+	// Runner is set — the Runner's own limit governs.
 	Jobs int
+	// Runner executes the simulations (nil = a fresh uncached Runner
+	// bounded by Jobs). Passing a shared Runner lets callers reuse its
+	// result cache across figures, tables, and server requests.
+	Runner *runcache.Runner
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +47,8 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Pressures) == 0 {
 		o.Pressures = []int{10, 30, 50, 70, 90}
+	} else {
+		o.Pressures = dedupeSorted(o.Pressures)
 	}
 	if o.Format == "" {
 		o.Format = "table"
@@ -43,11 +56,31 @@ func (o Options) withDefaults() Options {
 	if o.Jobs < 1 {
 		o.Jobs = runtime.NumCPU()
 	}
+	if o.Runner == nil {
+		o.Runner = &runcache.Runner{Jobs: o.Jobs}
+	}
 	return o
 }
 
+// dedupeSorted returns a sorted copy of ps with duplicates removed, so a
+// grid never schedules (and a table never prints) the same cell twice.
+func dedupeSorted(ps []int) []int {
+	out := make([]int, len(ps))
+	copy(out, ps)
+	sort.Ints(out)
+	n := 0
+	for i, p := range out {
+		if i == 0 || p != out[n-1] {
+			out[n] = p
+			n++
+		}
+	}
+	return out[:n]
+}
+
 // FigureApps returns the applications of the given figure (2 or 3); any
-// other value returns all six in paper order.
+// other value returns all six in paper order. Callers exposing a figure
+// flag should validate it with ValidFigure first.
 func FigureApps(fig int) []string {
 	switch fig {
 	case 2:
@@ -58,14 +91,59 @@ func FigureApps(fig int) []string {
 	return []string{"barnes", "em3d", "fft", "lu", "ocean", "radix"}
 }
 
+// ValidFigure reports whether fig names a figure grid (2 or 3) or the
+// both-figures sentinel 0.
+func ValidFigure(fig int) bool { return fig == 0 || fig == 2 || fig == 3 }
+
 type runKey struct {
 	arch     ascoma.Arch
 	pressure int
 }
 
+// errGroup coordinates a fan-out: the first recorded failure cancels the
+// shared context so outstanding simulations abort instead of running to
+// completion.
+type errGroup struct {
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	err    error
+}
+
+func newErrGroup(ctx context.Context) (*errGroup, context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	return &errGroup{cancel: cancel}, ctx
+}
+
+// go runs f in a goroutine; a non-nil return is recorded (first wins) and
+// cancels the group.
+func (g *errGroup) go_(f func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := f(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+				g.cancel()
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// wait blocks for every goroutine, releases the context, and returns the
+// first error.
+func (g *errGroup) wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
 // runGrid executes the architecture x pressure grid for one application in
-// parallel. CC-NUMA runs once (it is pressure-insensitive).
-func runGrid(app string, o Options) (map[runKey]*ascoma.Result, error) {
+// parallel through the shared Runner. CC-NUMA runs once (it is
+// pressure-insensitive). The first failure cancels every outstanding cell.
+func runGrid(ctx context.Context, app string, o Options) (map[runKey]*ascoma.Result, error) {
 	keys := []runKey{{ascoma.CCNUMA, 50}}
 	for _, a := range []ascoma.Arch{ascoma.SCOMA, ascoma.ASCOMA, ascoma.VCNUMA, ascoma.RNUMA} {
 		for _, p := range o.Pressures {
@@ -74,31 +152,26 @@ func runGrid(app string, o Options) (map[runKey]*ascoma.Result, error) {
 	}
 	results := make(map[runKey]*ascoma.Result, len(keys))
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var firstErr error
-	sem := make(chan struct{}, o.Jobs)
+	g, ctx := newErrGroup(ctx)
 	for _, k := range keys {
-		wg.Add(1)
-		go func(k runKey) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := ascoma.Run(ascoma.Config{
+		k := k
+		g.go_(func() error {
+			res, err := o.Runner.Run(ctx, ascoma.Config{
 				Arch: k.arch, Workload: app, Pressure: k.pressure, Scale: o.Scale,
 			})
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s %v(%d%%): %w", app, k.arch, k.pressure, err)
-				}
-				return
+				return fmt.Errorf("%s %v(%d%%): %w", app, k.arch, k.pressure, err)
 			}
+			mu.Lock()
 			results[k] = res
-		}(k)
+			mu.Unlock()
+			return nil
+		})
 	}
-	wg.Wait()
-	return results, firstErr
+	if err := g.wait(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // gridRows iterates the grid in the paper's presentation order.
@@ -115,9 +188,9 @@ func gridRows(results map[runKey]*ascoma.Result, pressures []int, f func(label s
 
 // Figure renders one application's Figure 2/3 panel (left: relative
 // execution-time breakdown; right: miss classification).
-func Figure(w io.Writer, app string, o Options) error {
+func Figure(ctx context.Context, w io.Writer, app string, o Options) error {
 	o = o.withDefaults()
-	results, err := runGrid(app, o)
+	results, err := runGrid(ctx, app, o)
 	if err != nil {
 		return err
 	}
@@ -158,16 +231,14 @@ func Figure(w io.Writer, app string, o Options) error {
 	})
 
 	if o.Format == "csv" {
-		io.WriteString(w, left.CSV())
-		io.WriteString(w, right.CSV())
-		return nil
+		return writeAll(w, left.CSV(), right.CSV())
 	}
-	fmt.Fprintf(w, "== %s: relative execution time (CC-NUMA = 1.00) ==\n", app)
-	io.WriteString(w, left.String())
-	fmt.Fprintf(w, "-- %s: where shared misses were satisfied --\n", app)
-	io.WriteString(w, right.String())
-	fmt.Fprintln(w)
-	return nil
+	return writeAll(w,
+		fmt.Sprintf("== %s: relative execution time (CC-NUMA = 1.00) ==\n", app),
+		left.String(),
+		fmt.Sprintf("-- %s: where shared misses were satisfied --\n", app),
+		right.String(),
+		"\n")
 }
 
 // figureChart renders the paper-style stacked bars.
@@ -190,68 +261,100 @@ func figureChart(w io.Writer, app string, results map[runKey]*ascoma.Result, bas
 		left.AddTimeBar(label, scaled, 1e6)
 		right.AddMissBar(label, r.SumMisses())
 	})
-	io.WriteString(w, left.String())
-	fmt.Fprintln(w)
-	io.WriteString(w, right.String())
-	fmt.Fprintln(w)
-	return nil
+	return writeAll(w, left.String(), "\n", right.String(), "\n")
 }
 
 // Table5 renders the workload inventory (programs, home pages, maximum
-// remote pages, ideal memory pressure).
-func Table5(w io.Writer, apps []string, o Options) error {
+// remote pages, ideal memory pressure). Applications run in parallel
+// through the shared Runner; rows keep the caller's order.
+func Table5(ctx context.Context, w io.Writer, apps []string, o Options) error {
 	o = o.withDefaults()
 	t := &stats.Table{Header: []string{"program", "nodes", "home pages/node", "max remote pages", "ideal pressure"}}
-	for _, a := range apps {
-		gen, err := workload.New(a, o.Scale)
-		if err != nil {
-			return err
-		}
-		res, err := ascoma.Run(ascoma.Config{Arch: ascoma.SCOMA, Workload: a, Pressure: 5, Scale: o.Scale})
-		if err != nil {
-			return err
-		}
-		var maxRemote int64
-		for i := range res.Nodes {
-			if r := res.Nodes[i].RemotePagesSeen; r > maxRemote {
-				maxRemote = r
+	rows := make([][]interface{}, len(apps))
+	g, ctx := newErrGroup(ctx)
+	for i, a := range apps {
+		i, a := i, a
+		g.go_(func() error {
+			gen, err := workload.New(a, o.Scale)
+			if err != nil {
+				return err
 			}
-		}
-		resident := gen.HomePagesPerNode() + gen.PrivatePagesPerNode()
-		ideal := 100 * float64(resident) / float64(resident+int(maxRemote))
-		t.AddRow(a, gen.Nodes(), gen.HomePagesPerNode(), maxRemote, fmt.Sprintf("%.0f%%", ideal))
+			res, err := o.Runner.Run(ctx, ascoma.Config{Arch: ascoma.SCOMA, Workload: a, Pressure: 5, Scale: o.Scale})
+			if err != nil {
+				return fmt.Errorf("table 5 %s: %w", a, err)
+			}
+			var maxRemote int64
+			for i := range res.Nodes {
+				if r := res.Nodes[i].RemotePagesSeen; r > maxRemote {
+					maxRemote = r
+				}
+			}
+			resident := gen.HomePagesPerNode() + gen.PrivatePagesPerNode()
+			ideal := 100 * float64(resident) / float64(resident+int(maxRemote))
+			rows[i] = []interface{}{a, gen.Nodes(), gen.HomePagesPerNode(), maxRemote, fmt.Sprintf("%.0f%%", ideal)}
+			return nil
+		})
+	}
+	if err := g.wait(); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return render(w, t, o)
 }
 
-// Table6 renders the remote-vs-relocated page counts.
-func Table6(w io.Writer, apps []string, o Options) error {
+// Table6 renders the remote-vs-relocated page counts, with applications in
+// parallel through the shared Runner.
+func Table6(ctx context.Context, w io.Writer, apps []string, o Options) error {
 	o = o.withDefaults()
 	t := &stats.Table{Header: []string{"program", "total remote pages", "relocated pages", "% relocated"}}
-	for _, a := range apps {
-		res, err := ascoma.Run(ascoma.Config{Arch: ascoma.CCNUMA, Workload: a, Pressure: 10, Scale: o.Scale})
-		if err != nil {
-			return err
-		}
-		pctRel := 0.0
-		if res.RemotePages > 0 {
-			pctRel = 100 * float64(res.RelocatedPages) / float64(res.RemotePages)
-		}
-		t.AddRow(a, res.RemotePages, res.RelocatedPages, f1(pctRel))
+	rows := make([][]interface{}, len(apps))
+	g, ctx := newErrGroup(ctx)
+	for i, a := range apps {
+		i, a := i, a
+		g.go_(func() error {
+			res, err := o.Runner.Run(ctx, ascoma.Config{Arch: ascoma.CCNUMA, Workload: a, Pressure: 10, Scale: o.Scale})
+			if err != nil {
+				return fmt.Errorf("table 6 %s: %w", a, err)
+			}
+			pctRel := 0.0
+			if res.RemotePages > 0 {
+				pctRel = 100 * float64(res.RelocatedPages) / float64(res.RemotePages)
+			}
+			rows[i] = []interface{}{a, res.RemotePages, res.RelocatedPages, f1(pctRel)}
+			return nil
+		})
+	}
+	if err := g.wait(); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return render(w, t, o)
 }
 
 func render(w io.Writer, t *stats.Table, o Options) error {
 	if o.Format == "csv" {
-		_, err := io.WriteString(w, t.CSV())
-		return err
+		return writeAll(w, t.CSV())
 	}
-	_, err := io.WriteString(w, t.String())
-	return err
+	return writeAll(w, t.String())
 }
 
-// ParsePressures converts "10,30,90" into a sorted, validated slice.
+// writeAll writes every part, failing on the first short or errored write
+// so a full disk or closed pipe is reported instead of swallowed.
+func writeAll(w io.Writer, parts ...string) error {
+	for _, p := range parts {
+		if _, err := io.WriteString(w, p); err != nil {
+			return fmt.Errorf("report: write: %w", err)
+		}
+	}
+	return nil
+}
+
+// ParsePressures converts "10,30,90" into a sorted, deduplicated,
+// validated slice.
 func ParsePressures(s string) ([]int, error) {
 	var out []int
 	start := 0
@@ -267,8 +370,7 @@ func ParsePressures(s string) ([]int, error) {
 		}
 		out = append(out, v)
 	}
-	sort.Ints(out)
-	return out, nil
+	return dedupeSorted(out), nil
 }
 
 func trimSpace(s string) string {

@@ -2,16 +2,20 @@ package report
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
+
+	"ascoma/internal/runcache"
 )
 
 var testOpts = Options{Scale: 16, Pressures: []int{10, 90}, Jobs: 4}
 
 func TestFigureTableStructure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Figure(&buf, "uniform", testOpts); err != nil {
+	if err := Figure(context.Background(), &buf, "uniform", testOpts); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -40,7 +44,7 @@ func TestFigureCSV(t *testing.T) {
 	var buf bytes.Buffer
 	o := testOpts
 	o.Format = "csv"
-	if err := Figure(&buf, "stream", o); err != nil {
+	if err := Figure(context.Background(), &buf, "stream", o); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -67,7 +71,7 @@ func TestFigureChart(t *testing.T) {
 	var buf bytes.Buffer
 	o := testOpts
 	o.Format = "chart"
-	if err := Figure(&buf, "uniform", o); err != nil {
+	if err := Figure(context.Background(), &buf, "uniform", o); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -81,14 +85,14 @@ func TestFigureChart(t *testing.T) {
 
 func TestFigureUnknownApp(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Figure(&buf, "nonexistent", testOpts); err == nil {
+	if err := Figure(context.Background(), &buf, "nonexistent", testOpts); err == nil {
 		t.Error("unknown app accepted")
 	}
 }
 
 func TestTable5Structure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table5(&buf, []string{"uniform", "stream"}, testOpts); err != nil {
+	if err := Table5(context.Background(), &buf, []string{"uniform", "stream"}, testOpts); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -103,7 +107,7 @@ func TestTable5Structure(t *testing.T) {
 
 func TestTable6Structure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table6(&buf, []string{"hotcold"}, testOpts); err != nil {
+	if err := Table6(context.Background(), &buf, []string{"hotcold"}, testOpts); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "relocated pages") {
@@ -113,7 +117,7 @@ func TestTable6Structure(t *testing.T) {
 
 func TestSensitivityNodesStructure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := SensitivityNodes(&buf, Options{Scale: 16}); err != nil {
+	if err := SensitivityNodes(context.Background(), &buf, Options{Scale: 16}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -151,9 +155,122 @@ func TestParsePressures(t *testing.T) {
 	}
 }
 
+func TestParsePressuresDeduplicates(t *testing.T) {
+	// Duplicate pressures used to schedule the same grid cell twice: two
+	// goroutines simulated redundantly and raced into one map entry.
+	got, err := ParsePressures("50,50, 10,50,10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 10 || got[1] != 50 {
+		t.Errorf("ParsePressures = %v, want [10 50]", got)
+	}
+}
+
+func TestOptionsDeduplicatePressures(t *testing.T) {
+	// Directly-set Options.Pressures are normalized too, without mutating
+	// the caller's slice.
+	in := []int{90, 10, 90}
+	o := Options{Pressures: in}.withDefaults()
+	if len(o.Pressures) != 2 || o.Pressures[0] != 10 || o.Pressures[1] != 90 {
+		t.Errorf("normalized pressures = %v, want [10 90]", o.Pressures)
+	}
+	if in[0] != 90 || in[1] != 10 || in[2] != 90 {
+		t.Errorf("caller's slice mutated: %v", in)
+	}
+}
+
+func TestValidFigure(t *testing.T) {
+	for fig, want := range map[int]bool{0: true, 2: true, 3: true, 1: false, 7: false, -1: false} {
+		if got := ValidFigure(fig); got != want {
+			t.Errorf("ValidFigure(%d) = %v, want %v", fig, got, want)
+		}
+	}
+}
+
+func TestFigureCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := Figure(ctx, &buf, "uniform", testOpts)
+	if err == nil {
+		t.Fatal("Figure with cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+}
+
+// errWriter fails after n bytes, modeling a full disk or closed pipe.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestFigureWriteErrorsPropagate(t *testing.T) {
+	for _, format := range []string{"table", "csv", "chart"} {
+		o := testOpts
+		o.Format = format
+		if err := Figure(context.Background(), &errWriter{n: 10}, "uniform", o); err == nil {
+			t.Errorf("%s: write error swallowed", format)
+		}
+	}
+	if err := Table6(context.Background(), &errWriter{}, []string{"stream"}, testOpts); err == nil {
+		t.Error("Table6: write error swallowed")
+	}
+}
+
+func TestSharedRunnerCachesAcrossCalls(t *testing.T) {
+	cache, err := runcache.New(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testOpts
+	o.Runner = &runcache.Runner{Cache: cache, Jobs: 4}
+	var a, b bytes.Buffer
+	if err := Figure(context.Background(), &a, "uniform", o); err != nil {
+		t.Fatal(err)
+	}
+	simsAfterFirst := cache.Stats().Sims
+	if simsAfterFirst == 0 {
+		t.Fatal("first render hit an empty cache")
+	}
+	if err := Figure(context.Background(), &b, "uniform", o); err != nil {
+		t.Fatal(err)
+	}
+	if sims := cache.Stats().Sims; sims != simsAfterFirst {
+		t.Errorf("second render simulated %d new runs, want 0", sims-simsAfterFirst)
+	}
+	if a.String() != b.String() {
+		t.Error("cached render differs from uncached render")
+	}
+}
+
+func TestTablesParallelPreserveOrder(t *testing.T) {
+	// Table5/Table6 fan out across apps; rows must keep the caller's order.
+	apps := []string{"stream", "uniform", "hotcold"}
+	var buf bytes.Buffer
+	if err := Table6(context.Background(), &buf, apps, testOpts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !(strings.Index(out, "stream") < strings.Index(out, "uniform") &&
+		strings.Index(out, "uniform") < strings.Index(out, "hotcold")) {
+		t.Errorf("rows out of order:\n%s", out)
+	}
+}
+
 func TestSensitivityThresholdStructure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := SensitivityThreshold(&buf, Options{Scale: 16}); err != nil {
+	if err := SensitivityThreshold(context.Background(), &buf, Options{Scale: 16}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -166,7 +283,7 @@ func TestSensitivityThresholdStructure(t *testing.T) {
 
 func TestSensitivityRACStructure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := SensitivityRAC(&buf, Options{Scale: 16}); err != nil {
+	if err := SensitivityRAC(context.Background(), &buf, Options{Scale: 16}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -177,7 +294,7 @@ func TestSensitivityRACStructure(t *testing.T) {
 
 func TestRenderCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table6(&buf, []string{"stream"}, Options{Scale: 16, Format: "csv"}); err != nil {
+	if err := Table6(context.Background(), &buf, []string{"stream"}, Options{Scale: 16, Format: "csv"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "program,") {
@@ -187,10 +304,10 @@ func TestRenderCSVMode(t *testing.T) {
 
 func TestTableErrorsPropagate(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table5(&buf, []string{"bogus"}, testOpts); err == nil {
+	if err := Table5(context.Background(), &buf, []string{"bogus"}, testOpts); err == nil {
 		t.Error("Table5 accepted unknown app")
 	}
-	if err := Table6(&buf, []string{"bogus"}, testOpts); err == nil {
+	if err := Table6(context.Background(), &buf, []string{"bogus"}, testOpts); err == nil {
 		t.Error("Table6 accepted unknown app")
 	}
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,10 +15,10 @@ import (
 // radix at 70% pressure. No static value wins everywhere: low values
 // thrash, high values forfeit relocation; the adaptive policy is
 // insensitive to its starting point.
-func SensitivityThreshold(w io.Writer, o Options) error {
+func SensitivityThreshold(ctx context.Context, w io.Writer, o Options) error {
 	o = o.withDefaults()
 	const app, pressure = "radix", 70
-	base, err := ascoma.Run(ascoma.Config{Arch: ascoma.CCNUMA, Workload: app, Pressure: pressure, Scale: o.Scale})
+	base, err := o.Runner.Run(ctx, ascoma.Config{Arch: ascoma.CCNUMA, Workload: app, Pressure: pressure, Scale: o.Scale})
 	if err != nil {
 		return err
 	}
@@ -27,7 +28,7 @@ func SensitivityThreshold(w io.Writer, o Options) error {
 		p.RefetchThreshold = th
 		row := []interface{}{th}
 		for _, arch := range []ascoma.Arch{ascoma.RNUMA, ascoma.ASCOMA} {
-			res, err := ascoma.Run(ascoma.Config{Arch: arch, Workload: app, Pressure: pressure, Scale: o.Scale, Params: p})
+			res, err := o.Runner.Run(ctx, ascoma.Config{Arch: arch, Workload: app, Pressure: pressure, Scale: o.Scale, Params: p})
 			if err != nil {
 				return err
 			}
@@ -41,20 +42,22 @@ func SensitivityThreshold(w io.Writer, o Options) error {
 		}
 		t.AddRow(row...)
 	}
-	fmt.Fprintf(w, "relocation-threshold sensitivity: %s at %d%% pressure (CC-NUMA = 1.00)\n", app, pressure)
+	if err := writeAll(w, fmt.Sprintf("relocation-threshold sensitivity: %s at %d%% pressure (CC-NUMA = 1.00)\n", app, pressure)); err != nil {
+		return err
+	}
 	return render(w, t, o)
 }
 
 // SensitivityRAC sweeps the remote access cache size on fft, the workload
 // whose streaming locality the RAC serves best.
-func SensitivityRAC(w io.Writer, o Options) error {
+func SensitivityRAC(ctx context.Context, w io.Writer, o Options) error {
 	o = o.withDefaults()
 	const app, pressure = "fft", 50
 	t := &stats.Table{Header: []string{"RAC entries", "exec (cycles)", "RAC% of misses", "remote% of misses"}}
 	for _, entries := range []int{0, 1, 2, 4, 16} {
 		p := ascoma.DefaultParams()
 		p.RACEntries = entries
-		res, err := ascoma.Run(ascoma.Config{Arch: ascoma.CCNUMA, Workload: app, Pressure: pressure, Scale: o.Scale, Params: p})
+		res, err := o.Runner.Run(ctx, ascoma.Config{Arch: ascoma.CCNUMA, Workload: app, Pressure: pressure, Scale: o.Scale, Params: p})
 		if err != nil {
 			return err
 		}
@@ -66,23 +69,27 @@ func SensitivityRAC(w io.Writer, o Options) error {
 		t.AddRow(entries, res.ExecTime, f1(pct(m[stats.RAC], sum)),
 			f1(pct(m[stats.Cold]+m[stats.ConfCapc], sum)))
 	}
-	fmt.Fprintf(w, "RAC-size sensitivity: %s at %d%% pressure on CC-NUMA\n", app, pressure)
+	if err := writeAll(w, fmt.Sprintf("RAC-size sensitivity: %s at %d%% pressure on CC-NUMA\n", app, pressure)); err != nil {
+		return err
+	}
 	return render(w, t, o)
 }
 
 // SensitivityNodes runs the hotcold workload on 4- to 32-node machines at
 // moderate pressure: remote latency grows with switch depth, so page
-// caching pays more on bigger machines.
-func SensitivityNodes(w io.Writer, o Options) error {
+// caching pays more on bigger machines. Custom generators are not
+// content-addressable, so these runs bypass the cache (but still share the
+// Runner's semaphore and cancellation).
+func SensitivityNodes(ctx context.Context, w io.Writer, o Options) error {
 	o = o.withDefaults()
 	t := &stats.Table{Header: []string{"nodes", "CC-NUMA exec", "AS-COMA exec", "AS-COMA rel", "remote misses saved"}}
 	for _, nodes := range []int{4, 8, 16, 32} {
-		base, err := ascoma.RunGenerator(ascoma.Config{Arch: ascoma.CCNUMA, Pressure: 50},
+		base, err := o.Runner.RunGenerator(ctx, ascoma.Config{Arch: ascoma.CCNUMA, Pressure: 50},
 			workload.NewHotColdN(nodes, o.Scale))
 		if err != nil {
 			return err
 		}
-		res, err := ascoma.RunGenerator(ascoma.Config{Arch: ascoma.ASCOMA, Pressure: 50},
+		res, err := o.Runner.RunGenerator(ctx, ascoma.Config{Arch: ascoma.ASCOMA, Pressure: 50},
 			workload.NewHotColdN(nodes, o.Scale))
 		if err != nil {
 			return err
@@ -91,6 +98,8 @@ func SensitivityNodes(w io.Writer, o Options) error {
 		t.AddRow(nodes, base.ExecTime, res.ExecTime,
 			f2(float64(res.ExecTime)/float64(base.ExecTime)), saved)
 	}
-	fmt.Fprintln(w, "machine-size scaling: hotcold at 50% pressure")
+	if err := writeAll(w, "machine-size scaling: hotcold at 50% pressure\n"); err != nil {
+		return err
+	}
 	return render(w, t, o)
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -110,9 +111,9 @@ func xmlEscape(s string) string {
 // FigureSVG renders one application's panel as two SVG documents: the
 // relative execution-time chart (left) and the miss-classification chart
 // (right), written to timeW and missW.
-func FigureSVG(timeW, missW io.Writer, app string, o Options) error {
+func FigureSVG(ctx context.Context, timeW, missW io.Writer, app string, o Options) error {
 	o = o.withDefaults()
-	results, err := runGrid(app, o)
+	results, err := runGrid(ctx, app, o)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestFigureSVGWellFormed(t *testing.T) {
 	var timeBuf, missBuf bytes.Buffer
-	if err := FigureSVG(&timeBuf, &missBuf, "uniform", testOpts); err != nil {
+	if err := FigureSVG(context.Background(), &timeBuf, &missBuf, "uniform", testOpts); err != nil {
 		t.Fatal(err)
 	}
 	for name, buf := range map[string]*bytes.Buffer{"time": &timeBuf, "miss": &missBuf} {

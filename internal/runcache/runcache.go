@@ -1,0 +1,279 @@
+// Package runcache memoizes simulation results. A run is fully determined
+// by its Config (the golden-determinism harness pins this), so identical
+// grid cells — the CC-NUMA baseline every figure shares, a re-rendered
+// panel, a repeated server request — need not be simulated twice.
+//
+// The cache is content-addressed: the key is a SHA-256 of the canonical
+// encoding of the Config (including the full Params block), so any change
+// to any knob produces a distinct key. Lookups go memory LRU -> optional
+// on-disk layer -> simulate, with singleflight deduplication so concurrent
+// requests for the same key run the simulation exactly once.
+//
+// Cached *ascoma.Result values are shared between callers and must be
+// treated as immutable.
+package runcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"ascoma"
+	"ascoma/internal/stats"
+)
+
+// keyVersion is folded into every key; bump it when the statistics schema
+// or the simulated model changes incompatibly, so stale disk entries from
+// an older binary can never satisfy a new request.
+const keyVersion = "ascoma-run-v1"
+
+// Key identifies one run configuration (hex SHA-256).
+type Key string
+
+// KeyOf returns the content address of cfg. Scale is normalized the way
+// Run normalizes it (0 and 1 are the same problem size). Two configs that
+// differ only in how they spell the default Params hash differently — a
+// conservative miss, never a wrong hit.
+func KeyOf(cfg ascoma.Config) (Key, error) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("runcache: encode config: %w", err)
+	}
+	h := sha256.Sum256(append([]byte(keyVersion+"\n"), blob...))
+	return Key(hex.EncodeToString(h[:])), nil
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	MemHits  int64 `json:"memHits"`  // served from the in-memory LRU
+	DiskHits int64 `json:"diskHits"` // served from the on-disk layer
+	Dedups   int64 `json:"dedups"`   // waited on an identical in-flight run
+	Sims     int64 `json:"sims"`     // simulations actually executed
+	Errors   int64 `json:"errors"`   // failed fills (never cached)
+}
+
+// Lookups returns the total number of Do calls the snapshot covers.
+func (s Stats) Lookups() int64 { return s.MemHits + s.DiskHits + s.Dedups + s.Sims + s.Errors }
+
+// HitRate returns the fraction of lookups that avoided a fresh simulation.
+func (s Stats) HitRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.MemHits+s.DiskHits+s.Dedups) / float64(n)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("mem=%d disk=%d dedup=%d sims=%d errors=%d (%.1f%% hit rate)",
+		s.MemHits, s.DiskHits, s.Dedups, s.Sims, s.Errors, 100*s.HitRate())
+}
+
+// flight is one in-progress fill; waiters block on done.
+type flight struct {
+	done chan struct{}
+	res  *ascoma.Result
+	err  error
+}
+
+// Cache is a concurrency-safe, content-addressed result cache.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recent; values are *lruEntry
+	max      int
+	dir      string
+	inflight map[Key]*flight
+
+	memHits  atomic.Int64
+	diskHits atomic.Int64
+	dedups   atomic.Int64
+	sims     atomic.Int64
+	errs     atomic.Int64
+}
+
+type lruEntry struct {
+	key Key
+	res *ascoma.Result
+}
+
+// New returns a cache holding up to maxEntries results in memory
+// (maxEntries < 1 selects a default of 1024). If dir is non-empty it is
+// created if needed and used as a persistent second layer: every simulated
+// result is written there, and misses probe it before simulating.
+func New(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries < 1 {
+		maxEntries = 1024
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runcache: %w", err)
+		}
+	}
+	return &Cache{
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+		max:      maxEntries,
+		dir:      dir,
+		inflight: make(map[Key]*flight),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		MemHits:  c.memHits.Load(),
+		DiskHits: c.diskHits.Load(),
+		Dedups:   c.dedups.Load(),
+		Sims:     c.sims.Load(),
+		Errors:   c.errs.Load(),
+	}
+}
+
+// Len returns the number of results resident in memory.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Do returns the cached result for key, or runs fn to produce it. Exactly
+// one caller runs fn per key at a time; concurrent callers with the same
+// key wait for that fill and share its outcome. A waiter whose ctx is
+// cancelled stops waiting (the fill itself keeps the leader's context).
+// Errors are returned but never cached.
+func (c *Cache) Do(ctx context.Context, key Key, fn func(ctx context.Context) (*ascoma.Result, error)) (*ascoma.Result, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		res := el.Value.(*lruEntry).res
+		c.mu.Unlock()
+		c.memHits.Add(1)
+		return res, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.dedups.Add(1)
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = c.fill(ctx, key, fn)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// fill resolves a miss: disk layer first, then the simulation itself.
+func (c *Cache) fill(ctx context.Context, key Key, fn func(ctx context.Context) (*ascoma.Result, error)) (*ascoma.Result, error) {
+	if c.dir != "" {
+		if res, err := c.loadDisk(key); err == nil {
+			c.diskHits.Add(1)
+			c.store(key, res)
+			return res, nil
+		}
+	}
+	res, err := fn(ctx)
+	if err != nil {
+		c.errs.Add(1)
+		return nil, err
+	}
+	c.sims.Add(1)
+	c.store(key, res)
+	if c.dir != "" {
+		if werr := c.saveDisk(key, res); werr != nil {
+			// A failed persist only costs a future re-simulation.
+			fmt.Fprintf(os.Stderr, "runcache: persist %s: %v\n", key[:12], werr)
+		}
+	}
+	return res, nil
+}
+
+// store inserts into the memory layer, evicting from the LRU tail.
+func (c *Cache) store(key Key, res *ascoma.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*lruEntry).res = res
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&lruEntry{key: key, res: res})
+	for c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*lruEntry).key)
+	}
+}
+
+// diskResult is the persisted form of a result. The embedded key double-
+// checks that a file renamed or corrupted on disk never satisfies the
+// wrong request.
+type diskResult struct {
+	Key     Key              `json:"key"`
+	ArchID  ascoma.Arch      `json:"archID"`
+	Machine *stats.Machine   `json:"machine"`
+	Samples []ascoma.Sample  `json:"samples,omitempty"`
+}
+
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, string(key)+".json")
+}
+
+func (c *Cache) loadDisk(key Key) (*ascoma.Result, error) {
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, err
+	}
+	var d diskResult
+	if err := json.Unmarshal(blob, &d); err != nil {
+		return nil, err
+	}
+	if d.Key != key || d.Machine == nil {
+		return nil, fmt.Errorf("runcache: %s: key mismatch or empty payload", c.path(key))
+	}
+	return &ascoma.Result{Machine: d.Machine, ArchID: d.ArchID, Samples: d.Samples}, nil
+}
+
+// saveDisk persists atomically (temp file + rename) so a crashed writer
+// never leaves a torn entry for loadDisk to trip over.
+func (c *Cache) saveDisk(key Key, res *ascoma.Result) error {
+	blob, err := json.Marshal(diskResult{Key: key, ArchID: res.ArchID, Machine: res.Machine, Samples: res.Samples})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

@@ -1,0 +1,86 @@
+package runcache
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ascoma"
+)
+
+// Runner is the shared orchestration layer every consumer of the simulator
+// goes through: a concurrency semaphore bounding simultaneous simulations,
+// optional result caching, and context cancellation. The report package,
+// cmd/sweep, and cmd/ascoma-serve all submit work here, so cancellation
+// semantics and cache behaviour are implemented (and tested) once.
+//
+// The zero value is usable: no cache, NumCPU concurrency.
+type Runner struct {
+	// Cache memoizes results (nil = simulate every request).
+	Cache *Cache
+	// Jobs bounds concurrent simulations (< 1 = NumCPU).
+	Jobs int
+
+	once     sync.Once
+	sem      chan struct{}
+	inflight atomic.Int64
+}
+
+func (r *Runner) init() {
+	jobs := r.Jobs
+	if jobs < 1 {
+		jobs = runtime.NumCPU()
+	}
+	r.sem = make(chan struct{}, jobs)
+}
+
+// Run executes (or recalls) one simulation. Identical concurrent requests
+// collapse onto one simulation when a Cache is attached. The semaphore is
+// acquired only for genuine simulations, never for cache hits, and waiting
+// for a slot respects ctx.
+func (r *Runner) Run(ctx context.Context, cfg ascoma.Config) (*ascoma.Result, error) {
+	r.once.Do(r.init)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sim := func(ctx context.Context) (*ascoma.Result, error) {
+		select {
+		case r.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		defer func() { <-r.sem }()
+		r.inflight.Add(1)
+		defer r.inflight.Add(-1)
+		return ascoma.RunContext(ctx, cfg)
+	}
+	if r.Cache == nil {
+		return sim(ctx)
+	}
+	key, err := KeyOf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Cache.Do(ctx, key, sim)
+}
+
+// RunGenerator executes one simulation on a caller-supplied workload
+// generator. A generator's identity is not content-addressable, so the
+// result is never cached, but the semaphore and cancellation still apply.
+func (r *Runner) RunGenerator(ctx context.Context, cfg ascoma.Config, gen ascoma.Generator) (*ascoma.Result, error) {
+	r.once.Do(r.init)
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	return ascoma.RunGeneratorContext(ctx, cfg, gen)
+}
+
+// InFlight returns the number of simulations currently executing (cache
+// hits never count).
+func (r *Runner) InFlight() int64 { return r.inflight.Load() }

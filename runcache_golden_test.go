@@ -1,0 +1,92 @@
+package ascoma_test
+
+// Validates the result cache against the golden-determinism harness: a
+// result that travels through the cache's disk layer must hash to the very
+// checksum pinned in testdata/golden_stats.json, proving the memoization
+// layer is invisible — byte for byte — to every figure built on top of it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"ascoma"
+	"ascoma/internal/runcache"
+)
+
+func goldenChecksum(t *testing.T, res *ascoma.Result) string {
+	t.Helper()
+	blob, err := json.Marshal(res.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(blob)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func TestCacheHitBitIdenticalToGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden comparison skipped in -short mode")
+	}
+	blob, err := os.ReadFile("testdata/golden_stats.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// A slice of the golden matrix covering the adaptive and baseline
+	// paths; scale 8 matches the harness.
+	cfgs := []ascoma.Config{
+		{Arch: ascoma.ASCOMA, Workload: "fft", Pressure: 70, Scale: 8},
+		{Arch: ascoma.CCNUMA, Workload: "radix", Pressure: 10, Scale: 8},
+		{Arch: ascoma.SCOMA, Workload: "lu", Pressure: 70, Scale: 8},
+	}
+	for _, cfg := range cfgs {
+		key := fmt.Sprintf("%v/%s@%d", cfg.Arch, cfg.Workload, cfg.Pressure)
+		pinned, ok := want[key]
+		if !ok {
+			t.Fatalf("%s missing from golden file", key)
+		}
+
+		// First pass simulates and persists; the checksum must already
+		// match the golden pin.
+		warm, err := runcache.New(16, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := &runcache.Runner{Cache: warm, Jobs: 2}
+		fresh, err := runner.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := goldenChecksum(t, fresh); got != pinned {
+			t.Fatalf("%s: fresh run checksum %s != golden %s", key, got, pinned)
+		}
+
+		// A cold cache over the same directory recalls from disk; the
+		// recalled statistics must hash identically.
+		cold, err := runcache.New(16, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner = &runcache.Runner{Cache: cold, Jobs: 2}
+		recalled, err := runner.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := cold.Stats(); st.DiskHits != 1 || st.Sims != 0 {
+			t.Fatalf("%s: expected a pure disk hit, got %+v", key, st)
+		}
+		if got := goldenChecksum(t, recalled); got != pinned {
+			t.Errorf("%s: cached checksum %s != golden %s", key, got, pinned)
+		}
+	}
+}

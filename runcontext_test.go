@@ -1,0 +1,99 @@
+package ascoma
+
+// Tests for the context-cancellation path of the orchestration layer: an
+// already-cancelled context never simulates, a mid-run cancel lands within
+// the acceptance budget (50ms of wall time), and MaxCycles — re-expressed
+// through the same abort path — still fires.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := RunContext(ctx, Config{Arch: ASCOMA, Workload: "fft", Pressure: 50, Scale: 1})
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a result")
+	}
+	// Paper-scale fft takes seconds; returning this fast proves nothing
+	// was simulated.
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("pre-cancelled run took %v", elapsed)
+	}
+}
+
+func TestRunContextMidRunCancellation(t *testing.T) {
+	// Paper scale so the run would take seconds without the cancel.
+	cfg := Config{Arch: ASCOMA, Workload: "fft", Pressure: 70, Scale: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := RunContext(ctx, cfg)
+		done <- err
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the simulation get going
+	cancelled := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error does not wrap context.Canceled: %v", err)
+		}
+		if latency := time.Since(cancelled); latency > 50*time.Millisecond {
+			t.Errorf("cancellation latency %v exceeds 50ms", latency)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run never returned after cancel")
+	}
+}
+
+func TestRunContextTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, Config{Arch: ASCOMA, Workload: "fft", Pressure: 70, Scale: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error does not wrap DeadlineExceeded: %v", err)
+	}
+}
+
+func TestMaxCyclesStillAborts(t *testing.T) {
+	_, err := Run(Config{Arch: ASCOMA, Workload: "uniform", Pressure: 50, Scale: 32, MaxCycles: 1000})
+	if err == nil {
+		t.Fatal("MaxCycles=1000 run completed")
+	}
+	if !strings.Contains(err.Error(), "MaxCycles") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRunContextCompletedRunMatchesRun(t *testing.T) {
+	cfg := Config{Arch: RNUMA, Workload: "uniform", Pressure: 70, Scale: 32}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ExecTime != viaCtx.ExecTime {
+		t.Errorf("ExecTime differs: Run=%d RunContext=%d", plain.ExecTime, viaCtx.ExecTime)
+	}
+}
