@@ -26,9 +26,12 @@ verify:
 	$(GO) test -race -short ./internal/...
 	$(GO) run ./cmd/ascoma-serve -smoke
 
-# bench runs the two benchmarks tracked in BENCH_PR1.json.
+# bench runs the full tracked benchmark set (BENCH_PR*.json) with the exact
+# flags the before/after numbers in those files were collected with; see
+# README.md ("Benchmarking") for the benchstat workflow.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig2FFT|BenchmarkHotPath' -benchtime 3x -count 1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig2FFT$$|BenchmarkHotPath$$|BenchmarkGridRow$$' -benchtime 3x -count 3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamGeneration$$' -count 3 .
 
 race:
 	$(GO) test -race ./...

@@ -171,10 +171,15 @@ func RunGeneratorContext(ctx context.Context, cfg Config, gen workload.Generator
 		return nil, err
 	}
 	st, err := m.RunContext(ctx)
+	samples := m.Samples()
+	// The machine's dense tables and chunk buffers go back to the arena for
+	// the next cell of the grid; st and samples are per-run allocations that
+	// Release leaves untouched.
+	m.Release()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Machine: st, ArchID: cfg.Arch, Samples: m.Samples()}, nil
+	return &Result{Machine: st, ArchID: cfg.Arch, Samples: samples}, nil
 }
 
 // Generator re-exports the workload generator interface so applications can

@@ -331,6 +331,20 @@ func BenchmarkHotPath(b *testing.B) {
 	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/sec")
 }
 
+// BenchmarkGridRow runs one application across the full pressure row of a
+// figure grid with no result cache: every cell builds its own machine and
+// workload, so allocs/op measures the per-cell construction overhead that
+// compiled-workload sharing and the machine arena exist to remove.
+func BenchmarkGridRow(b *testing.B) {
+	b.ReportAllocs()
+	pressures := []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	for i := 0; i < b.N; i++ {
+		for _, pr := range pressures {
+			benchRun(b, ASCOMA, "fft", pr)
+		}
+	}
+}
+
 func BenchmarkStreamGeneration(b *testing.B) {
 	b.ReportAllocs()
 	g, err := workload.New("radix", benchScale)

@@ -9,11 +9,13 @@
 //	GET  /api/v1/figure/{app} ?format=table|csv|chart&pressures=10,90&scale=8
 //	GET  /healthz
 //	GET  /debug/vars          expvar: cache hit rate, in-flight runs, per-arch latency
+//	GET  /debug/pprof/...     live profiling; only registered with -pprof
 //
 // Identical concurrent requests collapse onto one simulation
 // (singleflight), and repeated requests are served from the cache.
 //
 //	ascoma-serve -addr :8372 -cachedir /var/cache/ascoma -jobs 8
+//	ascoma-serve -pprof      # expose net/http/pprof for live CPU/heap profiles
 //	ascoma-serve -smoke      # self-test: start, probe, drain, exit
 package main
 
@@ -28,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -52,6 +55,7 @@ var (
 	reqTimeout = flag.Duration("timeout", 5*time.Minute, "per-request simulation timeout")
 	drainWait  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	smoke      = flag.Bool("smoke", false, "self-test: serve on a random port, probe the endpoints, drain, exit")
+	pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints leak runtime detail)")
 )
 
 // server holds the orchestration layer and the request-level metrics.
@@ -97,6 +101,15 @@ func (s *server) handler() http.Handler {
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("POST /api/v1/run", s.handleRun)
 	mux.HandleFunc("GET /api/v1/figure/{app}", s.handleFigure)
+	if *pprofOn {
+		// The mux is not DefaultServeMux, so the handlers the pprof
+		// import registers there are unreachable; wire them explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -176,3 +176,29 @@ func TestSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPprofGating(t *testing.T) {
+	// Off by default: the profiling endpoints must not be reachable.
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	*pprofOn = true
+	defer func() { *pprofOn = false }()
+	_, ts2 := newTestServer(t)
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof enabled: GET /debug/pprof/ = %d %q", resp.StatusCode, body)
+	}
+}

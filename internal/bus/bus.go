@@ -27,3 +27,10 @@ func (b *Bus) Busy() sim.Time { return b.res.Busy }
 
 // Reset returns the bus to idle.
 func (b *Bus) Reset() { b.res.Reset() }
+
+// Reconfigure resets the bus and sets the per-transaction occupancy (used
+// when a recycled bus serves a run with different machine parameters).
+func (b *Bus) Reconfigure(occCycles int64) {
+	b.occ = occCycles
+	b.res.Reset()
+}

@@ -14,29 +14,33 @@ import (
 	"ascoma/internal/params"
 )
 
+// l1Set is one direct-mapped set: the full line tag plus its state bits,
+// packed so a lookup or fill touches a single 16-byte record (one cache
+// line of the host covers four sets) instead of four parallel slices.
+type l1Set struct {
+	tag      addr.Line
+	valid    bool
+	dirty    bool
+	writable bool
+}
+
 // L1 is a direct-mapped write-back processor cache. Each line carries a
 // writable bit (the M/E permission of a MESI-style cache): a store to a
 // line held read-only is NOT a hit — it must go through the coherence
 // machinery to obtain ownership, or other nodes would keep stale copies.
 type L1 struct {
-	sets     int
-	mask     uint64      // sets-1; the set count is a validated power of two
-	tags     []addr.Line // full line number stored as tag
-	valid    []bool
-	dirty    []bool
-	writable []bool
+	sets  int
+	mask  uint64 // sets-1; the set count is a validated power of two
+	lines []l1Set
 }
 
 // NewL1 builds an L1 with the given capacity in bytes (power of two).
 func NewL1(bytes int) *L1 {
 	sets := bytes / params.LineSize
 	return &L1{
-		sets:     sets,
-		mask:     uint64(sets - 1),
-		tags:     make([]addr.Line, sets),
-		valid:    make([]bool, sets),
-		dirty:    make([]bool, sets),
-		writable: make([]bool, sets),
+		sets:  sets,
+		mask:  uint64(sets - 1),
+		lines: make([]l1Set, sets),
 	}
 }
 
@@ -46,10 +50,10 @@ func (c *L1) index(l addr.Line) int { return int(uint64(l) & c.mask) }
 // satisfies a read; only a writable copy satisfies a write (which marks it
 // dirty). A write to a read-only copy misses and must obtain ownership.
 func (c *L1) Lookup(l addr.Line, write bool) bool {
-	i := c.index(l)
-	if c.valid[i] && c.tags[i] == l && (!write || c.writable[i]) {
+	s := &c.lines[c.index(l)]
+	if s.valid && s.tag == l && (!write || s.writable) {
 		if write {
-			c.dirty[i] = true
+			s.dirty = true
 		}
 		return true
 	}
@@ -60,12 +64,12 @@ func (c *L1) Lookup(l addr.Line, write bool) bool {
 // installed writable and dirty. It returns the evicted line and whether it
 // was valid and dirty (a dirty victim must be written back).
 func (c *L1) Insert(l addr.Line, write bool) (victim addr.Line, wasValid, wasDirty bool) {
-	i := c.index(l)
-	victim, wasValid, wasDirty = c.tags[i], c.valid[i], c.valid[i] && c.dirty[i]
-	c.tags[i] = l
-	c.valid[i] = true
-	c.dirty[i] = write
-	c.writable[i] = write
+	s := &c.lines[c.index(l)]
+	victim, wasValid, wasDirty = s.tag, s.valid, s.valid && s.dirty
+	s.tag = l
+	s.valid = true
+	s.dirty = write
+	s.writable = write
 	return victim, wasValid, wasDirty
 }
 
@@ -77,11 +81,11 @@ func (c *L1) InvalidateBlock(b addr.Block) int {
 	n := 0
 	for j := 0; j < params.LinesPerBlock; j++ {
 		l := b.LineAt(j)
-		i := c.index(l)
-		if c.valid[i] && c.tags[i] == l {
-			c.valid[i] = false
-			c.dirty[i] = false
-			c.writable[i] = false
+		s := &c.lines[c.index(l)]
+		if s.valid && s.tag == l {
+			s.valid = false
+			s.dirty = false
+			s.writable = false
 			n++
 		}
 	}
@@ -95,14 +99,14 @@ func (c *L1) FlushPage(p addr.Page) (flushed, dirty int) {
 	base := addr.Line(uint64(p) << (params.PageShift - params.LineShift))
 	for j := 0; j < params.LinesPerPage; j++ {
 		l := base + addr.Line(j)
-		i := c.index(l)
-		if c.valid[i] && c.tags[i] == l {
-			if c.dirty[i] {
+		s := &c.lines[c.index(l)]
+		if s.valid && s.tag == l {
+			if s.dirty {
 				dirty++
 			}
-			c.valid[i] = false
-			c.dirty[i] = false
-			c.writable[i] = false
+			s.valid = false
+			s.dirty = false
+			s.writable = false
 			flushed++
 		}
 	}
@@ -115,28 +119,26 @@ func (c *L1) FlushPage(p addr.Page) (flushed, dirty int) {
 func (c *L1) CleanBlock(b addr.Block) {
 	for j := 0; j < params.LinesPerBlock; j++ {
 		l := b.LineAt(j)
-		i := c.index(l)
-		if c.valid[i] && c.tags[i] == l {
-			c.dirty[i] = false
-			c.writable[i] = false
+		s := &c.lines[c.index(l)]
+		if s.valid && s.tag == l {
+			s.dirty = false
+			s.writable = false
 		}
 	}
 }
 
 // Reset invalidates the whole cache.
 func (c *L1) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
-		c.writable[i] = false
+	for i := range c.lines {
+		c.lines[i] = l1Set{}
 	}
 }
 
 // Occupancy returns the number of valid lines (for tests).
 func (c *L1) Occupancy() int {
 	n := 0
-	for _, v := range c.valid {
-		if v {
+	for i := range c.lines {
+		if c.lines[i].valid {
 			n++
 		}
 	}

@@ -55,6 +55,20 @@ func (t *Table[T]) GetOrCreate(i int) *T {
 	return &t.chunks[c][i&chunkMask]
 }
 
+// Reset zeroes every allocated chunk in place, retaining the chunk storage.
+// A recycled table serves the same index ranges without reallocating — the
+// point of the machine arena: back-to-back runs of the same configuration
+// pay a memclr instead of fresh chunk allocations and the GC traffic behind
+// them.
+func (t *Table[T]) Reset() {
+	var zero T
+	for _, chunk := range t.chunks {
+		for j := range chunk {
+			chunk[j] = zero
+		}
+	}
+}
+
 // Range calls f for every entry in every allocated chunk, in ascending index
 // order (zero-valued entries included — callers distinguish live entries by
 // their own presence marker). It stops early when f returns false.

@@ -112,6 +112,15 @@ type Directory struct {
 	pages     dense.Table[pageEntry]
 	pageCount int
 
+	// touched marks pages some remote node has fetched. Remote copies are
+	// created only by Fetch, so a home-node access to an untouched page can
+	// need no invalidation and no dirty retrieval, and the state updates it
+	// would apply are writes of values already in place. HomeRead/HomeWrite
+	// test this one-byte-per-page side table — a flat slice indexed by the
+	// dense page index, which stays cache-resident — and skip the ~1 KB
+	// pageEntry entirely on the (common) untouched path.
+	touched []uint8
+
 	// Home allocation state.
 	homeCount []int // home pages currently owned per node
 	homeLimit int   // proportional cap per node (0 = uncapped)
@@ -133,6 +142,24 @@ func New(nodes, homeLimit, threshold int, inv Invalidator, wb Writebacker) *Dire
 		invalidate: inv,
 		writeback:  wb,
 	}
+}
+
+// Reset clears every per-run table while retaining the dense-chunk storage,
+// so a recycled directory serves the same page ranges without reallocating.
+// The node count and callbacks are kept: the callbacks are bound to the
+// owning machine, which is itself recycled as a unit.
+func (d *Directory) Reset(homeLimit, threshold int) {
+	d.threshold = threshold
+	d.homeLimit = homeLimit
+	d.pages.Reset()
+	for i := range d.touched {
+		d.touched[i] = 0
+	}
+	d.pageCount = 0
+	for i := range d.homeCount {
+		d.homeCount[i] = 0
+	}
+	d.rrNext = 0
 }
 
 // entry returns the live entry for page p, or nil when the page has no home
@@ -247,6 +274,12 @@ func (d *Directory) Fetch(node int, b addr.Block, write, haveData bool) FetchRes
 
 	res := FetchResult{Home: e.home}
 	e.remoteAccessed |= bit
+	if pi := int(p.MustIndex()); pi < len(d.touched) {
+		d.touched[pi] = 1
+	} else {
+		d.touched = append(d.touched, make([]uint8, pi+1-len(d.touched))...)
+		d.touched[pi] = 1
+	}
 
 	// Classification first (based on prior state).
 	switch {
@@ -323,6 +356,15 @@ func (d *Directory) Fetch(node int, b addr.Block, write, haveData bool) FetchRes
 // reach the directory). It returns the number of invalidations sent.
 func (d *Directory) HomeWrite(b addr.Block) int {
 	p := b.Page()
+	idx, ok := p.Index()
+	if !ok {
+		return 0
+	}
+	if int(idx) >= len(d.touched) || d.touched[idx] == 0 {
+		// No remote copies ever existed: nothing to invalidate, and the
+		// state transition below would write values already in place.
+		return 0
+	}
 	e := d.entry(p)
 	if e == nil {
 		return 0
@@ -384,6 +426,14 @@ func (d *Directory) FlushNode(p addr.Page, node int) (held, dirty int) {
 // at a remote owner the home must retrieve it first; the owner downgrades
 // to a clean sharer. fetched reports whether that retrieval was needed.
 func (d *Directory) HomeRead(b addr.Block) (owner int, fetched bool) {
+	idx, ok := b.Page().Index()
+	if !ok {
+		return 0, false
+	}
+	if int(idx) >= len(d.touched) || d.touched[idx] == 0 {
+		// No remote copies ever existed, so no block can be dirty remotely.
+		return 0, false
+	}
 	e := d.entry(b.Page())
 	if e == nil {
 		return 0, false

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"ascoma/internal/addr"
+	"ascoma/internal/stats"
+	"ascoma/internal/workload"
+)
+
+// fastForward advances nd through the maximal prefix of its pending
+// reference chunk that consists of plain reads and writes hitting in the L1,
+// and returns the new local clock (== now when it could not advance at all).
+//
+// This is the simulator's dominant regime — the paper's workloads hit the L1
+// on the vast majority of references — and such a reference is fully
+// determined by local state: it consumes Think + L1HitCycles cycles, bumps
+// three per-node counters, and (for a write) sets the line's dirty bit. None
+// of that is visible to any other node, no shared resource is occupied, and
+// no event is scheduled, so a run of k such references can be applied in one
+// pass without consulting the event queue.
+//
+// Exactness argument, per reference, against the slow path in runNode/access:
+//
+//   - Bounds: the slow loop re-checks `now < deadline` and the daemon timer
+//     before every reference; the inner loop here checks the same pair with
+//     the same pre-think `now`, so fast-forward stops exactly where the slow
+//     loop would have stopped issuing.
+//   - L1 outcome: cache.L1.Lookup is time-independent. On a hit its only
+//     side effect is setting dirty for writes — identical on both paths. On
+//     a miss it has no side effect at all, so probing it here and replaying
+//     the same reference through access (via the Pending/Skip contract:
+//     unconsumed refs stay in the chunk) is equivalent to calling it once.
+//   - Accounting: the slow hit path does Time[UInstr]+=Think, now+=Think,
+//     Shared/PrivateRefs++, L1Hits++, Time[UShMem|ULcMem]+=L1HitCycles,
+//     now+=L1HitCycles. The deltas accumulated below are those exact sums.
+//   - Sync/locks and the coherence checker observe references the fast path
+//     never consumes: any ref with Op > Write stops the scan, and runNode
+//     skips fast-forward entirely when a checker is installed (checker hooks
+//     fire on L1 hits).
+//
+// Sampling is unaffected: takeSample runs only at runNode entry, and
+// fast-forward never crosses a quantum boundary.
+func (m *Machine) fastForward(nd *node, now, deadline int64) int64 {
+	hitCycles := m.p.L1HitCycles
+	var (
+		k                int   // refs consumed
+		uinstr           int64 // Time[UInstr] delta
+		shRefs, lcRefs   int64 // SharedRefs / PrivateRefs deltas
+		shStall, lcStall int64 // Time[UShMem] / Time[ULcMem] deltas
+	)
+	for now < deadline && now < nd.nextDaemon {
+		refs := nd.pend[nd.pendPos:]
+		if len(refs) == 0 {
+			if refs = nd.refillWindow(); len(refs) == 0 {
+				break // stream drained
+			}
+		}
+		n := 0
+		for i := range refs {
+			if now >= deadline || now >= nd.nextDaemon {
+				break
+			}
+			r := &refs[i]
+			if r.Op > workload.Write {
+				break // sync ref: the slow path owns it
+			}
+			if !nd.l1.Lookup(addr.LineOf(r.Addr), r.Op == workload.Write) {
+				break // L1 miss: replay through access
+			}
+			if r.Think > 0 {
+				uinstr += int64(r.Think)
+				now += int64(r.Think)
+			}
+			if addr.IsShared(r.Addr) {
+				shRefs++
+				shStall += hitCycles
+			} else {
+				lcRefs++
+				lcStall += hitCycles
+			}
+			now += hitCycles
+			n++
+		}
+		if n == 0 {
+			break
+		}
+		nd.pendPos += n
+		k += n
+		if n < len(refs) {
+			break // stopped inside the chunk: blocked on a miss or sync ref
+		}
+	}
+	if k > 0 {
+		nd.st.L1Hits += int64(k)
+		nd.st.SharedRefs += shRefs
+		nd.st.PrivateRefs += lcRefs
+		nd.st.Time[stats.UInstr] += uinstr
+		nd.st.Time[stats.UShMem] += shStall
+		nd.st.Time[stats.ULcMem] += lcStall
+	}
+	return now
+}

@@ -67,27 +67,71 @@ type Sample struct {
 	KOverhead  int64 // cumulative kernel-overhead cycles
 }
 
-// node is one processor/memory node.
+// node is one processor/memory node. Field order is hot-first: runNode
+// touches the scheduling flags, the chunk window, and the stats pointer on
+// every event, so they share the node's leading cache lines; the ~1 KB TLB
+// array sits last.
 type node struct {
-	id  int
-	l1  *cache.L1
-	rac *cache.RAC
-	vmm *vm.VM
-	tlb tlb // software translation cache over vmm's page table
-	pol core.Policy
-	bus *bus.Bus
-	mem *sim.Banked
-	dir sim.Resource // directory-controller occupancy at this node
+	// blocked is the node's scheduling state as a bitmask (see ndDone etc.):
+	// runNode's entry check — taken once per event — tests one byte instead
+	// of three booleans.
+	blocked uint8
+
+	// Fast-forward probe backoff (see fastforward.go). A probe that consumes
+	// nothing doubles ffBackoff and skips that many future probes; a probe
+	// that consumes anything resets it. Purely a scheduling heuristic: the
+	// probe is exact whenever it runs, so skipping it cannot change results.
+	ffSkip    int32
+	ffBackoff int32
+
+	nextDaemon int64
+	id         int
+
+	// Chunk window (chunked streams only): pend borrows the stream's decoded
+	// chunk and pendPos is the consumption cursor — refs before it have been
+	// consumed by the node but not yet reported to the stream. The cursor is
+	// reported lazily, with one Skip per window instead of one interface call
+	// per reference (see refillWindow), and consuming a reference writes one
+	// integer rather than re-slicing.
+	pend    []workload.Ref
+	pendPos int
 
 	stream workload.Stream
-	st     *stats.Node
+	chunks workload.Chunked // stream's chunk interface, nil if unsupported
+	// st accumulates this node's statistics in place — embedded so the
+	// per-reference counter updates land on the node's own cache lines;
+	// finalize copies it into the returned stats.Machine.
+	st stats.Node
+	l1 cache.L1 // embedded: looked up on every reference, no pointer chase
 
-	done           bool
-	waiting        bool  // parked at a barrier
-	lockWait       bool  // parked on a held mutex
 	arriveTime     int64 // barrier/lock arrival time
-	nextDaemon     int64
 	daemonInterval int64
+
+	rac *cache.RAC
+	vmm *vm.VM
+	pol core.Policy
+	bus bus.Bus      // embedded: one transaction per miss, no pointer chase
+	mem sim.Banked   // embedded: one acquire per miss, no pointer chase
+	dir sim.Resource // directory-controller occupancy at this node
+
+	tlb tlb // software translation cache over vmm's page table
+}
+
+// Scheduling states for node.blocked: a done node never runs again; a
+// waiting or lock-blocked node is resumed by clearing its bit.
+const (
+	ndDone     = 1 << iota // stream drained or run aborted
+	ndWaiting              // parked at a barrier
+	ndLockWait             // parked on a held mutex
+)
+
+// refillWindow reports the consumed prefix to the stream and borrows the
+// next pending window. An empty result means end of stream.
+func (nd *node) refillWindow() []workload.Ref {
+	nd.chunks.Skip(nd.pendPos)
+	nd.pendPos = 0
+	nd.pend = nd.chunks.Pending()
+	return nd.pend
 }
 
 // Machine is one configured simulation.
@@ -100,6 +144,15 @@ type Machine struct {
 	dir   *directory.Directory
 	q     sim.Queue
 	st    *stats.Machine
+
+	// Hoisted copies of the per-event Config reads, kept on the hot cache
+	// lines next to the queue instead of deep inside cfg.
+	quantum    int64
+	maxCycles  int64
+	sampleIntv int64
+
+	shape    shape // arena pool key (see arena.go)
+	released bool
 
 	active   int   // nodes not yet done
 	waiters  []int // nodes parked at the current barrier
@@ -156,7 +209,36 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 		cfg.Quantum = 100
 	}
 
-	m := &Machine{cfg: cfg, gen: gen}
+	// Per-node memory sizing: home + private pages occupy Pressure% of
+	// the node's physical memory.
+	resident := gen.HomePagesPerNode() + gen.PrivatePagesPerNode()
+	totalPages := (resident*100 + cfg.Pressure - 1) / cfg.Pressure
+	if totalPages <= resident {
+		totalPages = resident + 1
+	}
+
+	// Check the arena for a released machine of the same structural shape;
+	// recycling one resets its dense tables in place instead of
+	// reallocating them (see arena.go).
+	sh := shape{
+		nodes:      cfg.Params.Nodes,
+		l1Bytes:    cfg.Params.L1Bytes,
+		racEntries: cfg.Params.RACEntries,
+		memBanks:   cfg.Params.MemBanks,
+		totalPages: totalPages,
+		homeLimit:  gen.HomePagesPerNode(),
+	}
+	m := arenaGet(sh)
+	if m == nil {
+		m = newShaped(sh, &cfg.Params)
+	} else {
+		m.recycle(sh, &cfg.Params)
+	}
+	m.cfg = cfg
+	m.gen = gen
+	m.quantum = cfg.Quantum
+	m.maxCycles = cfg.MaxCycles
+	m.sampleIntv = cfg.SampleInterval
 	m.p = &m.cfg.Params
 	p := m.p
 
@@ -167,40 +249,20 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 	m.st.Workload = gen.Name()
 	m.st.Pressure = cfg.Pressure
 
-	// Per-node memory sizing: home + private pages occupy Pressure% of
-	// the node's physical memory.
-	resident := gen.HomePagesPerNode() + gen.PrivatePagesPerNode()
-	totalPages := (resident*100 + cfg.Pressure - 1) / cfg.Pressure
-	if totalPages <= resident {
-		totalPages = resident + 1
-	}
-
 	newPolicy := cfg.PolicyFactory
 	if newPolicy == nil {
 		newPolicy = core.New
 	}
-	m.nodes = make([]*node, n)
 	for i := 0; i < n; i++ {
-		nd := &node{
-			id:             i,
-			l1:             cache.NewL1(p.L1Bytes),
-			rac:            cache.NewRAC(p.RACEntries),
-			vmm:            vm.New(i, totalPages, p.FreeMinPct, p.FreeTargetPct),
-			pol:            newPolicy(cfg.Arch, p),
-			bus:            bus.New(p.BusCycles),
-			mem:            sim.NewBanked(p.MemBanks),
-			st:             &m.st.Nodes[i],
-			nextDaemon:     p.DaemonInterval,
-			daemonInterval: p.DaemonInterval,
-		}
+		nd := m.nodes[i]
+		nd.pol = newPolicy(cfg.Arch, p)
+		nd.st = stats.Node{}
+		nd.nextDaemon = p.DaemonInterval
+		nd.daemonInterval = p.DaemonInterval
 		if err := nd.vmm.ReserveHome(resident); err != nil {
 			return nil, err
 		}
-		m.nodes[i] = nd
 	}
-
-	m.dir = directory.New(n, gen.HomePagesPerNode(), p.RefetchThreshold,
-		m.onInvalidate, m.onWriteback)
 
 	// Pre-place the shared home pages and install the home nodes'
 	// mappings (the paper's home allocation happens before the timed
@@ -211,7 +273,11 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 	})
 
 	for i := 0; i < n; i++ {
-		m.nodes[i].stream = gen.Stream(i)
+		nd := m.nodes[i]
+		nd.stream = gen.Stream(i)
+		nd.chunks, _ = nd.stream.(workload.Chunked)
+		nd.pend, nd.pendPos = nil, 0
+		nd.ffSkip, nd.ffBackoff = 0, 0
 	}
 	m.active = n
 	if cfg.CheckCoherence {
@@ -297,8 +363,8 @@ func (m *Machine) releaseLock(nd *node, id addr.GVA, now int64) (int64, error) {
 	// The handoff reaches the waiter after the release plus a transfer.
 	resume := now + cost + m.net.Latency(nd.id, next) + m.p.NetPortOccupancy
 	w.st.Time[stats.Sync] += resume - w.arriveTime
-	w.lockWait = false
-	m.q.Push(sim.Event{Time: resume, Kind: sim.EvProc, Node: next})
+	w.blocked &^= ndLockWait
+	m.q.Push(sim.Event{Time: resume, Kind: sim.EvProc, Node: int32(next)})
 	return cost, nil
 }
 
@@ -358,7 +424,7 @@ func (m *Machine) RunContext(ctx context.Context) (*stats.Machine, error) {
 		return nil, fmt.Errorf("machine: run not started: %w", err)
 	}
 	for i := range m.nodes {
-		m.q.Push(sim.Event{Time: 0, Kind: sim.EvProc, Node: i})
+		m.q.Push(sim.Event{Time: 0, Kind: sim.EvProc, Node: int32(i)})
 	}
 	poll := 0
 	for m.aborted == nil {
@@ -373,7 +439,7 @@ func (m *Machine) RunContext(ctx context.Context) (*stats.Machine, error) {
 				break
 			}
 		}
-		if m.cfg.MaxCycles > 0 && ev.Time > m.cfg.MaxCycles {
+		if m.maxCycles > 0 && ev.Time > m.maxCycles {
 			m.aborted = fmt.Errorf("machine: exceeded MaxCycles=%d (arch=%v workload=%s)", m.cfg.MaxCycles, m.cfg.Arch, m.gen.Name())
 			break
 		}
@@ -396,28 +462,74 @@ func (m *Machine) RunContext(ctx context.Context) (*stats.Machine, error) {
 
 // runNode advances one node by up to one quantum of simulated time.
 func (m *Machine) runNode(nd *node, now int64) {
-	if nd.done || nd.waiting || nd.lockWait {
+	if nd.blocked != 0 {
 		return
 	}
-	if m.cfg.SampleInterval > 0 && nd.id == 0 && now >= m.nextSample {
+	if m.sampleIntv > 0 && nd.id == 0 && now >= m.nextSample {
 		m.takeSample(nd, now)
 	}
-	deadline := now + m.cfg.Quantum
+	deadline := now + m.quantum
 	for now < deadline {
 		if now >= nd.nextDaemon {
 			now += m.runDaemon(nd, now)
 			continue
 		}
-		ref, ok := nd.stream.Next()
-		if !ok {
-			nd.done = true
-			nd.st.FinishTime = now
-			m.active--
-			m.checkBarrier()
-			return
+		var ref workload.Ref
+		if nd.chunks != nil {
+			// Batch the common case: consume the chunk's prefix of
+			// L1-hitting reads/writes in one pass (see fastforward.go). The
+			// checker needs its per-hit hooks, so it forces the interpretive
+			// path. Miss-heavy phases would pay for a fruitless probe on
+			// every reference, so fruitless probes back off exponentially
+			// (capped); any productive probe re-arms immediately. The probe
+			// is exact whenever it runs, so the backoff only trades
+			// fast-path coverage, never correctness.
+			if m.checker == nil {
+				if nd.ffSkip > 0 {
+					nd.ffSkip--
+				} else if t := m.fastForward(nd, now, deadline); t != now {
+					now = t
+					nd.ffBackoff = 0
+					continue
+				} else {
+					if nd.ffBackoff < 1024 {
+						nd.ffBackoff = nd.ffBackoff*2 + 1
+					}
+					nd.ffSkip = nd.ffBackoff
+				}
+			}
+			refs, pos := nd.pend, nd.pendPos
+			if pos == len(refs) {
+				if refs = nd.refillWindow(); len(refs) == 0 {
+					nd.blocked = ndDone
+					nd.st.FinishTime = now
+					m.active--
+					m.checkBarrier()
+					return
+				}
+				pos = 0
+			}
+			ref = refs[pos]
+			nd.pendPos = pos + 1
+		} else {
+			var ok bool
+			ref, ok = nd.stream.Next()
+			if !ok {
+				nd.blocked = ndDone
+				nd.st.FinishTime = now
+				m.active--
+				m.checkBarrier()
+				return
+			}
+		}
+		if ref.Op <= workload.Write {
+			// Plain read/write: the overwhelmingly common case takes one
+			// compare to reach instead of falling through the sync checks.
+			now = m.access(nd, ref, now)
+			continue
 		}
 		if ref.Op == workload.Barrier {
-			nd.waiting = true
+			nd.blocked |= ndWaiting
 			nd.arriveTime = now
 			m.waiters = append(m.waiters, nd.id)
 			m.checkBarrier()
@@ -428,7 +540,7 @@ func (m *Machine) runNode(nd *node, now int64) {
 			nd.st.Time[stats.Sync] += cost
 			now += cost
 			if blocked {
-				nd.lockWait = true
+				nd.blocked |= ndLockWait
 				nd.arriveTime = now
 				return
 			}
@@ -438,7 +550,7 @@ func (m *Machine) runNode(nd *node, now int64) {
 			cost, err := m.releaseLock(nd, ref.Addr, now)
 			if err != nil {
 				m.aborted = err
-				nd.done = true
+				nd.blocked = ndDone
 				m.active--
 				return
 			}
@@ -448,7 +560,7 @@ func (m *Machine) runNode(nd *node, now int64) {
 		}
 		now = m.access(nd, ref, now)
 	}
-	m.q.Push(sim.Event{Time: now, Kind: sim.EvProc, Node: nd.id})
+	m.q.Push(sim.Event{Time: now, Kind: sim.EvProc, Node: int32(nd.id)})
 }
 
 // checkBarrier releases the barrier once every still-running node has
@@ -467,8 +579,8 @@ func (m *Machine) checkBarrier() {
 	for _, w := range m.waiters {
 		nd := m.nodes[w]
 		nd.st.Time[stats.Sync] += release - nd.arriveTime
-		nd.waiting = false
-		m.q.Push(sim.Event{Time: release, Kind: sim.EvProc, Node: w})
+		nd.blocked &^= ndWaiting
+		m.q.Push(sim.Event{Time: release, Kind: sim.EvProc, Node: int32(w)})
 	}
 	m.waiters = m.waiters[:0]
 	m.barriers++
@@ -770,9 +882,18 @@ func (m *Machine) l1Fill(nd *node, line addr.Line, write bool, now int64) {
 	}
 	nd.st.Writebacks++
 	vb := victim.Block()
-	pte := nd.vmm.Lookup(victim.Page())
+	// Victim pages were mapped when their lines were filled, so the TLB
+	// almost always still holds the translation; the fallback walk refills
+	// it. The TLB is a host-side memo with no simulated cost, so this changes
+	// nothing observable.
+	vp := victim.Page()
+	pte := nd.tlb.lookup(vp)
 	if pte == nil {
-		return
+		pte = nd.vmm.Lookup(vp)
+		if pte == nil {
+			return
+		}
+		nd.tlb.insert(vp, pte)
 	}
 	switch pte.Mode {
 	case vm.ModePrivate, vm.ModeHome:
@@ -1014,11 +1135,12 @@ func (m *Machine) runDaemon(nd *node, now int64) int64 {
 // finalize computes the run-level aggregates.
 func (m *Machine) finalize() {
 	var max int64
-	for _, nd := range m.nodes {
+	for i, nd := range m.nodes {
 		if nd.st.FinishTime > max {
 			max = nd.st.FinishTime
 		}
 		nd.st.ThrashEvents = nd.pol.ThrashEvents()
+		m.st.Nodes[i] = nd.st
 	}
 	m.st.ExecTime = max
 	m.st.RemotePages, m.st.RelocatedPages = m.dir.Table6()
@@ -1048,7 +1170,7 @@ func (m *Machine) takeSample(nd *node, now int64) {
 		Thrash:     nd.pol.ThrashEvents(),
 		KOverhead:  nd.st.Time[stats.KOverhead],
 	})
-	m.nextSample = now + m.cfg.SampleInterval
+	m.nextSample = now + m.sampleIntv
 }
 
 // Samples returns the adaptation timeline recorded for node 0 (empty

@@ -230,10 +230,10 @@ func (c *Cache) store(key Key, res *ascoma.Result) {
 // checks that a file renamed or corrupted on disk never satisfies the
 // wrong request.
 type diskResult struct {
-	Key     Key              `json:"key"`
-	ArchID  ascoma.Arch      `json:"archID"`
-	Machine *stats.Machine   `json:"machine"`
-	Samples []ascoma.Sample  `json:"samples,omitempty"`
+	Key     Key             `json:"key"`
+	ArchID  ascoma.Arch     `json:"archID"`
+	Machine *stats.Machine  `json:"machine"`
+	Samples []ascoma.Sample `json:"samples,omitempty"`
 }
 
 func (c *Cache) path(key Key) string {

@@ -27,94 +27,101 @@ const (
 	EvBarrierRelease
 )
 
-// Event is a scheduled occurrence. Seq breaks time ties deterministically in
-// insertion order so simulations are reproducible run to run.
+// Event is a scheduled occurrence. Time ties are broken deterministically in
+// insertion order so simulations are reproducible run to run. The struct is
+// kept to 16 bytes — two events per host cache line, and ring indexing
+// compiles to a shift — so Kind and Node are narrow fields.
 type Event struct {
 	Time Time
 	Kind EventKind
-	Node int
-	seq  uint64
+	Node int32
 }
 
-// Queue is a deterministic min-heap of events ordered by (Time, seq).
+// Queue is a deterministic event queue ordered by (Time, insertion order).
 // The zero value is ready to use.
 //
-// The heap is implemented directly on []Event rather than via
-// container/heap: the interface-based API boxes every pushed and popped
-// element, which made the queue the source of ~99% of the simulator's
-// allocations (one event per processor quantum per node). The inlined
-// sift operations allocate nothing beyond the amortized slice growth.
+// The representation is a sorted circular buffer rather than a binary heap.
+// The machine keeps at most one pending event per node (plus a handful of
+// timers), so the queue holds only a few entries, and each Push lands at or
+// near the tail: the node that just ran advanced past the others, so its
+// next event is usually the latest. Back-to-front insertion therefore
+// shifts ~0-2 entries, Pop is a head-index increment, and nothing
+// allocates beyond amortized buffer growth — measurably cheaper than heap
+// sift operations, which dominated the event loop at one event per
+// reference under miss-heavy workloads. FIFO order among equal times is
+// structural: a new event is placed after every entry with Time <= its
+// own, so no tie-break sequence number is needed.
 type Queue struct {
-	h   []Event
-	seq uint64
-}
-
-// less orders events by (Time, seq); seq breaks ties in insertion order.
-func (q *Queue) less(i, j int) bool {
-	if q.h[i].Time != q.h[j].Time {
-		return q.h[i].Time < q.h[j].Time
-	}
-	return q.h[i].seq < q.h[j].seq
+	ring []Event // power-of-two capacity
+	head int     // index of the earliest pending event
+	n    int     // pending event count
 }
 
 // Push schedules an event.
 func (q *Queue) Push(e Event) {
-	e.seq = q.seq
-	q.seq++
-	q.h = append(q.h, e)
-	// Sift up.
-	i := len(q.h) - 1
+	if q.n == len(q.ring) {
+		q.grow()
+	}
+	mask := len(q.ring) - 1
+	// Scan backward from the tail: the new event orders after every pending
+	// event whose time is <= its own (equal-time FIFO falls out of the scan
+	// being strict).
+	i := q.n
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		j := (q.head + i - 1) & mask
+		if q.ring[j].Time <= e.Time {
 			break
 		}
-		q.h[i], q.h[parent] = q.h[parent], q.h[i]
-		i = parent
+		q.ring[(j+1)&mask] = q.ring[j]
+		i--
 	}
+	q.ring[(q.head+i)&mask] = e
+	q.n++
+}
+
+// grow doubles the ring, linearizing pending events to the front.
+func (q *Queue) grow() {
+	c := len(q.ring) * 2
+	if c == 0 {
+		c = 16
+	}
+	r := make([]Event, c)
+	for i := 0; i < q.n; i++ {
+		r[i] = q.ring[(q.head+i)&(len(q.ring)-1)]
+	}
+	q.ring = r
+	q.head = 0
 }
 
 // Pop removes and returns the earliest event. ok is false when the queue is
 // empty.
 func (q *Queue) Pop() (e Event, ok bool) {
-	n := len(q.h)
-	if n == 0 {
+	if q.n == 0 {
 		return Event{}, false
 	}
-	e = q.h[0]
-	q.h[0] = q.h[n-1]
-	q.h = q.h[:n-1]
-	// Sift down.
-	n--
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		least := l
-		if r := l + 1; r < n && q.less(r, l) {
-			least = r
-		}
-		if !q.less(least, i) {
-			break
-		}
-		q.h[i], q.h[least] = q.h[least], q.h[i]
-		i = least
-	}
+	e = q.ring[q.head]
+	q.head = (q.head + 1) & (len(q.ring) - 1)
+	q.n--
 	return e, true
 }
 
 // Peek returns the earliest event without removing it.
 func (q *Queue) Peek() (e Event, ok bool) {
-	if len(q.h) == 0 {
+	if q.n == 0 {
 		return Event{}, false
 	}
-	return q.h[0], true
+	return q.ring[q.head], true
 }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int { return q.n }
+
+// Reset empties the queue, retaining its storage — a recycled queue
+// schedules events in exactly the order a fresh one would.
+func (q *Queue) Reset() {
+	q.head = 0
+	q.n = 0
+}
 
 // Resource models a unit that can serve one request at a time (a bus, a
 // network input port, a directory controller). Acquire serializes requests:
@@ -150,20 +157,58 @@ func (r *Resource) Reset() { r.freeAt = 0; r.Busy = 0 }
 // the same bank.
 type Banked struct {
 	banks []Resource
+	mask  uint64 // len(banks)-1 when a power of two, else 0 (modulo path)
+	pow2  bool
+
+	// inline backs banks for small bank counts, so a Banked embedded in a
+	// larger hot struct keeps its banks on the same cache lines instead of
+	// behind a separate heap allocation.
+	inline [8]Resource
+}
+
+// Init configures b in place with n banks (n >= 1). It must be called on
+// the Banked's final resting address: for small n the bank storage aliases
+// the struct itself, so the value must not be copied afterwards.
+func (b *Banked) Init(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n <= len(b.inline) {
+		b.inline = [8]Resource{}
+		b.banks = b.inline[:n]
+	} else {
+		b.banks = make([]Resource, n)
+	}
+	b.pow2 = n&(n-1) == 0
+	b.mask = 0
+	if b.pow2 {
+		b.mask = uint64(n - 1)
+	}
 }
 
 // NewBanked returns a Banked resource with n banks (n >= 1).
 func NewBanked(n int) *Banked {
-	if n < 1 {
-		n = 1
-	}
-	return &Banked{banks: make([]Resource, n)}
+	b := new(Banked)
+	b.Init(n)
+	return b
 }
 
 // Acquire occupies the bank selected by key for occ cycles starting no
-// earlier than t and returns the completion time.
+// earlier than t and returns the completion time. Bank selection is key mod
+// banks; the common power-of-two bank counts take the mask path to keep the
+// integer division off the per-reference hot path.
 func (b *Banked) Acquire(key uint64, t Time, occ Time) Time {
+	if b.pow2 {
+		return b.banks[key&b.mask].Acquire(t, occ)
+	}
 	return b.banks[key%uint64(len(b.banks))].Acquire(t, occ)
+}
+
+// Reset returns every bank to the initial idle state.
+func (b *Banked) Reset() {
+	for i := range b.banks {
+		b.banks[i].Reset()
+	}
 }
 
 // Busy returns the total occupied cycles summed over banks.

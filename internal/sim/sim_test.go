@@ -11,7 +11,7 @@ func TestQueueOrdersByTime(t *testing.T) {
 	var q Queue
 	times := []Time{50, 10, 30, 20, 40}
 	for i, tm := range times {
-		q.Push(Event{Time: tm, Node: i})
+		q.Push(Event{Time: tm, Node: int32(i)})
 	}
 	var got []Time
 	for {
@@ -32,14 +32,14 @@ func TestQueueOrdersByTime(t *testing.T) {
 func TestQueueTieBreaksByInsertionOrder(t *testing.T) {
 	var q Queue
 	for i := 0; i < 10; i++ {
-		q.Push(Event{Time: 100, Node: i})
+		q.Push(Event{Time: 100, Node: int32(i)})
 	}
 	for i := 0; i < 10; i++ {
 		e, ok := q.Pop()
 		if !ok {
 			t.Fatal("queue empty early")
 		}
-		if e.Node != i {
+		if e.Node != int32(i) {
 			t.Fatalf("tie broken out of insertion order: got node %d at pop %d", e.Node, i)
 		}
 	}

@@ -149,6 +149,28 @@ func New(node, totalPages, freeMinPct, freeTargetPct int) *VM {
 	return v
 }
 
+// Reset returns the VM to its just-built state with the given geometry,
+// retaining the page-table chunk storage for reuse by a later run. Every
+// previously handed-out *PTE is invalidated (the caller must drop its
+// translation caches).
+func (v *VM) Reset(totalPages, freeMinPct, freeTargetPct int) {
+	v.TotalPages = totalPages
+	v.HomePages = 0
+	v.free = totalPages
+	v.freeMin = totalPages * freeMinPct / 100
+	if v.freeMin < 1 {
+		v.freeMin = 1
+	}
+	v.freeTarget = totalPages * freeTargetPct / 100
+	if v.freeTarget < v.freeMin {
+		v.freeTarget = v.freeMin
+	}
+	v.ptCount = 0
+	v.pt.Reset()
+	v.ring = v.ring[:0]
+	v.hand = 0
+}
+
 // ReserveHome pins n pages for home/private data, removing them from the
 // free pool. It returns an error if the node does not have that many free
 // pages.

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"testing"
+
+	"ascoma/internal/addr"
+)
+
+// programSource exposes the per-node programs of the built-in generator
+// types so equivalence tests can drive both stream implementations over the
+// same Program. Declared here (test-only) rather than on the Generator
+// interface: production code never needs it.
+type programSource interface{ nodeProgram(i int) *Program }
+
+func (b *base) nodeProgram(i int) *Program { return b.progs[i] }
+func (s *Synthetic) nodeProgram(i int) *Program {
+	s.build()
+	return s.progs[i]
+}
+func (m *Mismatch) nodeProgram(i int) *Program { return m.progs[i] }
+func (c *CritSec) nodeProgram(i int) *Program  { return c.progs[i] }
+
+// TestCompiledMatchesInterpreted drains the compiled stream and the
+// interpreted reference implementation over every node program of every
+// registered workload and requires ref-for-ref identity. This is the
+// contract the golden harness rests on: compilation must be a pure
+// representation change.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	scales := []int{16}
+	if !testing.Short() {
+		// Full size plus a non-divisor scale that exercises odd chunk
+		// phase alignment against segment boundaries.
+		scales = append(scales, 1, 3)
+	}
+	for _, name := range Names() {
+		for _, scale := range scales {
+			g, err := New(name, scale)
+			if err != nil {
+				t.Fatalf("New(%s, %d): %v", name, scale, err)
+			}
+			src, ok := g.(programSource)
+			if !ok {
+				t.Fatalf("%s: generator %T does not expose programs", name, g)
+			}
+			for n := 0; n < g.Nodes(); n++ {
+				p := src.nodeProgram(n)
+				want := p.Interpreted()
+				got := p.Stream()
+				var i int64
+				for {
+					wr, wok := want.Next()
+					gr, gok := got.Next()
+					if wok != gok {
+						t.Fatalf("%s/%d node %d ref %d: interpreted ok=%v, compiled ok=%v", name, scale, n, i, wok, gok)
+					}
+					if !wok {
+						break
+					}
+					if wr != gr {
+						t.Fatalf("%s/%d node %d ref %d: interpreted %+v, compiled %+v", name, scale, n, i, wr, gr)
+					}
+					i++
+				}
+				if refs := p.Refs(); i < refs {
+					t.Fatalf("%s/%d node %d: drained %d refs, program declares at least %d", name, scale, n, i, refs)
+				}
+				Recycle(got)
+			}
+		}
+	}
+}
+
+// TestCompiledPendingSkip checks the chunk-borrowing contract the machine's
+// fast-forward relies on: interleaving Pending/Skip with Next in any split
+// yields the same sequence as Next alone, and Pending refills across chunk
+// boundaries.
+func TestCompiledPendingSkip(t *testing.T) {
+	p := &Program{}
+	// > 2 chunks of refs with a sync ref landing mid-chunk.
+	p.WalkRW(addr.SharedBase, 40*1024, 64, 1, 3, 2)
+	p.Barrier(1)
+	p.Scatter(addr.SharedBase, 64*1024, 64, 300, Write, 1, 42)
+
+	var want []Ref
+	ref := p.Interpreted()
+	for {
+		r, ok := ref.Next()
+		if !ok {
+			break
+		}
+		want = append(want, r)
+	}
+
+	for _, take := range []int{1, 7, ChunkSize - 1, ChunkSize} {
+		s, ok := p.Stream().(Chunked)
+		if !ok {
+			t.Fatal("Program.Stream does not implement Chunked")
+		}
+		var got []Ref
+		for {
+			pend := s.Pending()
+			if len(pend) == 0 {
+				break
+			}
+			n := take
+			if n > len(pend) {
+				n = len(pend)
+			}
+			got = append(got, pend[:n]...)
+			s.Skip(n)
+			// Alternate consumption styles: one ref through Next.
+			if r, ok := s.Next(); ok {
+				got = append(got, r)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("take=%d: got %d refs, want %d", take, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("take=%d ref %d: got %+v, want %+v", take, i, got[i], want[i])
+			}
+		}
+		Recycle(s)
+	}
+}
+
+// TestCompiledRecycleReuse checks that a pooled stream checked out for a
+// different program replays that program from the start.
+func TestCompiledRecycleReuse(t *testing.T) {
+	a := &Program{}
+	a.Walk(addr.SharedBase, 8192, 64, 2, Read, 1)
+	b := &Program{}
+	b.Scatter(addr.SharedBase, 32*1024, 64, 500, Write, 3, 7)
+
+	s := a.Stream()
+	for i := 0; i < 10; i++ {
+		s.Next()
+	}
+	Recycle(s)
+
+	want := drain(b.Interpreted())
+	got := drain(b.Stream())
+	if len(want) != len(got) {
+		t.Fatalf("recycled stream: got %d refs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recycled stream ref %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNewMemoizes checks that New returns one shared generator per
+// (name, scale): the property that lets all 45 cells of a figure grid share
+// one compiled workload.
+func TestNewMemoizes(t *testing.T) {
+	a, err := New("fft", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("fft", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("New(fft, 8) returned distinct generators for the same key")
+	}
+	c, err := New("fft", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("New(fft, 8) and New(fft, 16) share a generator")
+	}
+	// Streams over the shared generator must be independent cursors.
+	s1, s2 := a.Stream(0), a.Stream(0)
+	if s1 == s2 {
+		t.Fatal("shared generator returned the same stream twice")
+	}
+	r1, _ := s1.Next()
+	for i := 0; i < 100; i++ {
+		s2.Next()
+	}
+	s3 := a.Stream(0)
+	r3, _ := s3.Next()
+	if r1 != r3 {
+		t.Errorf("fresh stream over shared generator starts at %+v, want %+v", r3, r1)
+	}
+	Recycle(s1)
+	Recycle(s2)
+	Recycle(s3)
+}

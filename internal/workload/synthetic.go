@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sync"
+
 	"ascoma/internal/addr"
 	"ascoma/internal/params"
 )
@@ -33,8 +35,9 @@ type Synthetic struct {
 	// Think cycles per reference.
 	Think int32
 
-	sections []addr.GVA
-	progs    []*Program
+	buildOnce sync.Once
+	sections  []addr.GVA
+	progs     []*Program
 }
 
 // Name returns the workload name.
@@ -63,10 +66,12 @@ func (s *Synthetic) Stream(node int) Stream {
 	return s.progs[node].Stream()
 }
 
-func (s *Synthetic) build() {
-	if s.progs != nil {
-		return
-	}
+// build materializes the programs once; the sync.Once makes lazily-built
+// synthetics safe to share across concurrent runs (workload.New memoizes
+// generators).
+func (s *Synthetic) build() { s.buildOnce.Do(s.buildLocked) }
+
+func (s *Synthetic) buildLocked() {
 	if s.NumNodes < 1 {
 		s.NumNodes = 1
 	}

@@ -16,6 +16,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ascoma/internal/addr"
 )
@@ -128,9 +129,14 @@ type instr struct {
 }
 
 // Program is a node's reference script: a sequence of walks, scatters, and
-// barriers built by the generator.
+// barriers built by the generator. A Program is append-only while being
+// built and must not be modified after its first Stream call (streaming
+// compiles it, and the compiled form is memoized).
 type Program struct {
 	instrs []instr
+
+	once sync.Once
+	comp *compiledProg
 }
 
 // Walk appends a sequential pass over [base, base+bytes) at the given
@@ -229,8 +235,14 @@ func (p *Program) Refs() int64 {
 	return n
 }
 
-// Stream returns a lazy stream over the program.
-func (p *Program) Stream() Stream { return &progStream{prog: p} }
+// Stream returns a lazy stream over the program: a chunk-compiled stream
+// (see compiled.go) whose reference sequence is bit-identical to the
+// interpreted one.
+func (p *Program) Stream() Stream { return newCompiledStream(p.compiled()) }
+
+// Interpreted returns the unoptimized per-instruction stream — the
+// reference implementation the compiled chunks are validated against.
+func (p *Program) Interpreted() Stream { return &progStream{prog: p} }
 
 type progStream struct {
 	prog   *Program
@@ -355,7 +367,21 @@ func Register(name string, f Factory) {
 	registry[name] = f
 }
 
-// New builds the named workload at the given scale.
+// memoKey identifies one shared workload instance.
+type memoKey struct {
+	name  string
+	scale int
+}
+
+var (
+	memoMu sync.Mutex
+	memo   = map[memoKey]Generator{}
+)
+
+// New returns the named workload at the given scale. Instances are memoized
+// per (name, scale): generators are immutable once built and their streams
+// are independent, so every cell of a figure grid — and every concurrent
+// run in a server — shares one compiled workload instead of rebuilding it.
 func New(name string, scale int) (Generator, error) {
 	f, ok := registry[name]
 	if !ok {
@@ -364,7 +390,15 @@ func New(name string, scale int) (Generator, error) {
 	if scale < 1 {
 		scale = 1
 	}
-	return f(scale), nil
+	k := memoKey{name, scale}
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	g, ok := memo[k]
+	if !ok {
+		g = f(scale)
+		memo[k] = g
+	}
+	return g, nil
 }
 
 // Names returns the registered workload names, sorted.
