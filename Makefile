@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify bench race clean serve-smoke
+.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke
 
 all: build
 
@@ -16,11 +16,18 @@ test:
 serve-smoke:
 	$(GO) run ./cmd/ascoma-serve -smoke
 
-# verify is the pre-commit gate: vet, build, the full test suite (including
-# the golden determinism test), a short race-detector smoke over the
-# internal packages, and the server smoke test.
-verify:
+# vet runs the stock go vet suite plus the repo's own analyzers
+# (cmd/ascoma-vet: nondet, hotpath, statsintegrity, ctxflow) through the
+# standard -vettool protocol. See DESIGN.md, "Enforced invariants".
+vet:
 	$(GO) vet ./...
+	$(GO) build -o .bin/ascoma-vet ./cmd/ascoma-vet
+	$(GO) vet -vettool=.bin/ascoma-vet ./...
+
+# verify is the pre-commit gate: vet (stock + ascoma-vet), build, the full
+# test suite (including the golden determinism test), a short race-detector
+# smoke over the internal packages, and the server smoke test.
+verify: vet
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./internal/...
@@ -36,5 +43,12 @@ bench:
 race:
 	$(GO) test -race ./...
 
+# fuzz-smoke runs each fuzz target briefly over its seeded corpus plus a
+# few seconds of generated inputs — a CI-sized differential check that the
+# compiled workload streams still match the interpreted reference.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCompiledMatchesInterpreted -fuzztime 10s ./internal/workload
+
 clean:
 	$(GO) clean ./...
+	rm -rf .bin

@@ -1,0 +1,41 @@
+// Command ascoma-vet is the repository's analyzer suite: four repo-specific
+// static checks that protect the properties the simulator's results rest on.
+//
+//	nondet          no wall-clock, global math/rand, or map iteration in
+//	                the deterministic packages (golden-checksum safety)
+//	hotpath         no heap-allocating constructs in //ascoma:hotpath
+//	                functions (the zero-alloc event path)
+//	statsintegrity  every stats field reaches both the finalize step and
+//	                the golden-checksum serialization
+//	ctxflow         exported Run* entry points accept and propagate
+//	                context.Context (the cancellation contract)
+//
+// Run it standalone:
+//
+//	go run ./cmd/ascoma-vet ./...
+//
+// or as a vet tool, which is what make vet and CI do:
+//
+//	go build -o .bin/ascoma-vet ./cmd/ascoma-vet
+//	go vet -vettool=.bin/ascoma-vet ./...
+//
+// See DESIGN.md §9 for each analyzer's rules, annotations, and escape
+// hatches.
+package main
+
+import (
+	"ascoma/internal/analysis/ctxflow"
+	"ascoma/internal/analysis/hotpath"
+	"ascoma/internal/analysis/nondet"
+	"ascoma/internal/analysis/statsintegrity"
+	"ascoma/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(
+		nondet.Analyzer,
+		hotpath.Analyzer,
+		statsintegrity.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

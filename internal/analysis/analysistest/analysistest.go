@@ -1,0 +1,157 @@
+// Package analysistest runs an analyzer over a corpus package under
+// internal/analysis/testdata/src and checks its diagnostics against
+// expectations written in the corpus itself, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	rand.Intn(6) // want `global random source`
+//
+// A `// want` comment holds one or more backquoted or double-quoted regular
+// expressions; each must match a distinct diagnostic reported on that line,
+// and every diagnostic must be matched by some expectation. Corpus packages
+// are type-checked against the standard library from source, so corpora can
+// import time, math/rand, fmt, and context without any build step.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ascoma/internal/analysis"
+)
+
+// Run applies the analyzer to the corpus package in dir (a path relative to
+// the test, e.g. "../testdata/src/nondet") and reports expectation
+// mismatches as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pass, err := load(a, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { got = append(got, d) }
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := expectations(t, pass.Fset, pass.Files)
+
+	for _, d := range got {
+		posn := pass.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if w != nil {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w)
+			}
+		}
+	}
+}
+
+// load parses and type-checks the corpus package.
+func load(a *analysis.Analyzer, dir string) (*analysis.Pass, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no corpus files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking corpus %s: %v", dir, err)
+	}
+
+	return &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// wantRx extracts the quoted or backquoted expectation strings after "want".
+var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectations collects the // want comments, keyed by "file.go:line".
+func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[string][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
+				for _, m := range wantRx.FindAllStringSubmatch(rest, -1) {
+					src := m[1]
+					if src == "" {
+						src = m[2]
+					}
+					rx, err := regexp.Compile(src)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, src, err)
+					}
+					out[key] = append(out[key], rx)
+				}
+			}
+		}
+	}
+	return out
+}

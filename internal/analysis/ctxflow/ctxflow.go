@@ -1,0 +1,135 @@
+// Package ctxflow enforces the cancellation contract introduced with the
+// run-orchestration layer: every exported simulation entry point — an
+// exported function or method whose name is Run or starts with Run — must
+// participate in context plumbing, so a cancelled HTTP request or a
+// fail-fast report grid can always abort the event loop.
+//
+// Two shapes satisfy the contract:
+//
+//   - the function takes a context.Context and actually uses it (passes it
+//     on, or polls it — an ignored or blank ctx parameter is a violation);
+//   - the function is a convenience wrapper without a context and its body
+//     calls its own context-taking variant, named <Name>Context (the
+//     repo-wide Run → RunContext pattern), which keeps the pair in sync.
+//
+// An entry point that genuinely cannot be cancelled is suppressed with
+// //ascoma:allow-noctx <reason> in its doc comment (last doc line) or on
+// the line above the declaration.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ascoma/internal/analysis"
+)
+
+// Analyzer is the ctxflow analysis. It covers the packages that expose or
+// drive simulation runs; a new run-orchestration package must be added
+// here to come under the contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "require exported Run* simulation entry points to accept and propagate context.Context (or delegate to their Context variant)",
+	Packages: []string{
+		"ascoma",
+		"ascoma/internal/machine",
+		"ascoma/internal/sim",
+		"ascoma/internal/runcache",
+		"ascoma/internal/report",
+		"ascoma/cmd/...",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Name.Name != "Run" && !strings.HasPrefix(fd.Name.Name, "Run") {
+				continue
+			}
+			if pass.Allowed(fd.Name.Pos(), "allow-noctx") {
+				continue
+			}
+			checkEntryPoint(pass, fd)
+		}
+	}
+	return nil
+}
+
+// ctxParam returns the *types.Var of the first context.Context parameter.
+func ctxParam(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContext(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 || field.Names[0].Name == "_" {
+			// Anonymous or blank parameter: present in the signature but
+			// unusable, reported by the caller as discarded.
+			return types.NewVar(field.Type.Pos(), pass.Pkg, "_", tv.Type)
+		}
+		if obj, ok := pass.TypesInfo.Defs[field.Names[0]].(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkEntryPoint(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if ctx := ctxParam(pass, fd); ctx != nil {
+		if ctx.Name() == "_" {
+			pass.Reportf(fd.Name.Pos(), "%s discards its context.Context parameter: name it and propagate it into the event loop", name)
+			return
+		}
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctx {
+				used = true
+				return false
+			}
+			return !used
+		})
+		if !used {
+			pass.Reportf(fd.Name.Pos(), "%s accepts a context.Context but never uses it: propagate it into the event loop", name)
+		}
+		return
+	}
+
+	// No context parameter: the body must delegate to <name>Context.
+	want := name + "Context"
+	delegates := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			delegates = delegates || fun.Name == want
+		case *ast.SelectorExpr:
+			delegates = delegates || fun.Sel.Name == want
+		}
+		return !delegates
+	})
+	if !delegates {
+		pass.Reportf(fd.Name.Pos(), "exported simulation entry point %s must accept a context.Context or delegate to %s", name, want)
+	}
+}

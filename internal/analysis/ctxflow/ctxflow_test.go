@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"ascoma/internal/analysis/analysistest"
+	"ascoma/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "../testdata/src/ctxflow")
+}

@@ -1,0 +1,122 @@
+// Package hotpath enforces allocation discipline in functions annotated
+// //ascoma:hotpath. The simulator's benchmarks (BENCH_PR1/BENCH_PR3) were
+// bought by hand-flattening the per-event path down to a few thousand
+// allocations per run; nothing but reviewer vigilance kept regressions out.
+// Annotating the machine step loop, the fast-forward scan, the event ring,
+// the L1 probe, and the compiled-stream refill makes the discipline
+// mechanical: a heap-allocating construct inside an annotated function is a
+// vet failure.
+//
+// Flagged inside an annotated function (nested function literals included):
+//
+//   - append: growth allocates and the escaped backing array is sticky;
+//   - make and new: direct allocations;
+//   - function literals: closures allocate their environment;
+//   - conversions of concrete values to interface types: the value escapes
+//     into the heap-allocated interface payload;
+//   - any call into package fmt: formatting allocates and forces escapes;
+//   - string concatenation (+ or +=): builds a new heap string.
+//
+// The analyzer checks only the annotated function's own body — callees are
+// their own responsibility — so slow paths reachable from a hot function
+// (e.g. a grow() helper) stay unconstrained by living in a separate
+// function. A deliberate allocation on a cold branch inside an annotated
+// function is suppressed with //ascoma:allow-alloc <reason>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ascoma/internal/analysis"
+)
+
+// Analyzer is the hotpath analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "flag heap-allocating constructs inside functions annotated //ascoma:hotpath",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, hot := analysis.HasDirective(fd.Doc, "hotpath"); !hot {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if !pass.Allowed(pos, "allow-alloc") {
+			pass.Reportf(pos, "%s: "+format, append([]interface{}{fd.Name.Name}, args...)...)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure in a hot path allocates its environment")
+			return true // still check the closure's body
+		case *ast.CallExpr:
+			checkCall(pass, n, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				report(n.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+				report(n.TokPos, "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	// T(x) where T is an interface and x is concrete: the conversion boxes
+	// x into a heap-allocated interface payload.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if argTV, ok := pass.TypesInfo.Types[call.Args[0]]; ok && argTV.Type != nil && !types.IsInterface(argTV.Type) {
+				report(call.Pos(), "conversion to interface type %s allocates", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			}
+		}
+		return
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				report(call.Pos(), "append may grow and allocate; preallocate or use a pooled buffer")
+			case "make", "new":
+				report(call.Pos(), "%s allocates; hoist it out of the hot path or reuse a pooled object", b.Name())
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				report(call.Pos(), "fmt.%s allocates and forces its operands to escape", fun.Sel.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"ascoma/internal/analysis/analysistest"
+	"ascoma/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "../testdata/src/hotpath")
+}

@@ -1,0 +1,12 @@
+package nondet_test
+
+import (
+	"testing"
+
+	"ascoma/internal/analysis/analysistest"
+	"ascoma/internal/analysis/nondet"
+)
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, nondet.Analyzer, "../testdata/src/nondet")
+}

@@ -1,0 +1,16 @@
+package statsintegrity_test
+
+import (
+	"testing"
+
+	"ascoma/internal/analysis/analysistest"
+	"ascoma/internal/analysis/statsintegrity"
+)
+
+func TestStatsIntegrity(t *testing.T) {
+	analysistest.Run(t, statsintegrity.Analyzer, "../testdata/src/statsintegrity")
+}
+
+func TestNoSerializeFunction(t *testing.T) {
+	analysistest.Run(t, statsintegrity.Analyzer, "../testdata/src/statsintegrity_noserialize")
+}

@@ -1,0 +1,51 @@
+// Package ctxflow is the test corpus for the ctxflow analyzer: exported
+// Run* simulation entry points must accept and propagate context.Context,
+// or delegate to their <Name>Context variant.
+package ctxflow
+
+import "context"
+
+// Result stands in for a finished run's statistics.
+type Result struct{ Cycles int64 }
+
+// RunContext drives a run under ctx: the canonical entry point.
+func RunContext(ctx context.Context, scale int) Result {
+	select {
+	case <-ctx.Done():
+		return Result{}
+	default:
+	}
+	return Result{Cycles: int64(scale)}
+}
+
+// Run is the convenience wrapper; delegating keeps the pair in sync.
+func Run(scale int) Result {
+	return RunContext(context.Background(), scale)
+}
+
+// RunAll forgets both the parameter and the delegation.
+func RunAll(scales []int) []Result { // want `exported simulation entry point RunAll must accept a context\.Context or delegate to RunAllContext`
+	out := make([]Result, 0, len(scales))
+	for _, s := range scales {
+		out = append(out, Run(s))
+	}
+	return out
+}
+
+// RunIgnored takes a context but never consults it.
+func RunIgnored(ctx context.Context, scale int) Result { // want `RunIgnored accepts a context\.Context but never uses it`
+	return Result{Cycles: int64(scale)}
+}
+
+// RunBlank discards its context outright.
+func RunBlank(_ context.Context, scale int) Result { // want `RunBlank discards its context\.Context parameter`
+	return Result{Cycles: int64(scale)}
+}
+
+// RunDetached owns no cancellation point by design; its lifecycle is
+// managed by the supervisor that spawned it.
+//
+//ascoma:allow-noctx detached daemon; the supervisor kills the process group
+func RunDetached(scale int) Result {
+	return Result{Cycles: int64(scale)}
+}

@@ -1,0 +1,52 @@
+// Package hotpath is the test corpus for the hotpath analyzer:
+// allocation discipline inside functions annotated //ascoma:hotpath.
+package hotpath
+
+import "fmt"
+
+type event struct {
+	t    int64
+	node int32
+}
+
+// step stands in for the per-event dispatch loop.
+//
+//ascoma:hotpath
+func step(buf []event, e event) []event {
+	buf = append(buf, e)        // want `append may grow and allocate`
+	scratch := make([]event, 8) // want `make allocates`
+	_ = scratch
+	p := new(event) // want `new allocates`
+	_ = p
+	fmt.Println(e.t)                 // want `fmt\.Println allocates`
+	f := func() int64 { return e.t } // want `closure in a hot path allocates`
+	_ = f()
+	_ = any(e.node) // want `conversion to interface type`
+	return buf
+}
+
+// describe builds a label the slow, allocating way.
+//
+//ascoma:hotpath
+func describe(name string) string {
+	label := name + ":" // want `string concatenation allocates`
+	label += name       // want `string concatenation allocates`
+	return label
+}
+
+// push keeps a deliberate cold-branch allocation behind a hatch.
+//
+//ascoma:hotpath
+func push(buf []event, e event) []event {
+	//ascoma:allow-alloc grows only on the first fill; steady state is preallocated
+	return append(buf, e)
+}
+
+// cold is unannotated: allocation is unconstrained here.
+func cold(n int) []event {
+	out := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, event{t: int64(i)})
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Package statsintegrity is the test corpus for the statsintegrity
+// analyzer: every field of an //ascoma:stats struct must reach both the
+// serialized view and a finalize populator.
+package statsintegrity
+
+// Node collects one node's counters.
+//
+//ascoma:stats
+type Node struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Skipped int64 `json:"-"` // want `field Node\.Skipped carries json:"-"`
+	secret  int64 // want `field Node\.secret is unexported`
+	Orphan  int64 // want `field Node\.Orphan is not referenced by any //ascoma:stats-serialize function`
+	//ascoma:allow-unserialized derived at load time from Hits and Misses
+	Ratio float64
+}
+
+// Machine aggregates nodes; covered wholesale by snapshot's value copy.
+//
+//ascoma:stats
+type Machine struct {
+	Name  string
+	Nodes []Node
+}
+
+// Total is not a struct, so the annotation is an error.
+//
+//ascoma:stats
+type Total int64 // want `//ascoma:stats applies only to struct types`
+
+// flatten re-keys Node's counters by name.
+//
+//ascoma:stats-serialize
+func flatten(n *Node) map[string]int64 {
+	return map[string]int64{
+		"hits":    n.Hits,
+		"misses":  n.Misses,
+		"skipped": n.Skipped,
+		"secret":  n.secret,
+	}
+}
+
+// snapshot copies a whole Machine value, covering every field at once.
+//
+//ascoma:stats-serialize
+func snapshot(m *Machine) Machine {
+	out := *m
+	return out
+}
+
+// finalize stamps Node's counters at the end of a run, but forgets Orphan.
+//
+//ascoma:stats-finalize Node
+func finalize(n *Node) { // want `//ascoma:stats-finalize Node: field\(s\) Orphan, Ratio never populated`
+	n.Hits++
+	n.Misses++
+	n.Skipped = 0
+	n.secret = 0
+}
+
+// newMachine's positional literal populates every Machine field.
+//
+//ascoma:stats-finalize Machine
+func newMachine(name string) Machine {
+	return Machine{name, nil}
+}
+
+//ascoma:stats-finalize
+func badNoArg() {} // want `//ascoma:stats-finalize requires a type argument`
+
+//ascoma:stats-finalize NoSuchType
+func badTarget() {} // want `cannot resolve a struct type`

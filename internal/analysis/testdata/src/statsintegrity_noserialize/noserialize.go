@@ -1,0 +1,10 @@
+// Package noserialize is the statsintegrity corpus for a package that
+// marks stats structs but declares no serialization function at all.
+package noserialize
+
+// Counters is marked, but nothing in the package serializes it.
+//
+//ascoma:stats
+type Counters struct { // want `declares //ascoma:stats structs but no //ascoma:stats-serialize function`
+	Hits int64
+}

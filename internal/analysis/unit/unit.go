@@ -1,0 +1,344 @@
+// Package unit is the driver behind cmd/ascoma-vet. It implements the
+// command-line protocol that `go vet -vettool=...` requires of an analysis
+// tool, with no dependency beyond the standard library:
+//
+//	-V=full    print an executable fingerprint (for go's build cache)
+//	-flags     print the supported flags as JSON (for go vet's flag parser)
+//	foo.cfg    analyze the single compilation unit described by the JSON
+//	           config file the go command writes (absolute Go file paths,
+//	           an import map, and compiler-produced export data for every
+//	           dependency — so type-checking here is exact and fast)
+//
+// Invoked any other way, the driver re-executes itself through the go
+// command (`go vet -vettool=<self> <packages>`), which provides package
+// loading, build caching, and parallelism for free; `ascoma-vet ./...`
+// therefore works standalone from a clean checkout.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"ascoma/internal/analysis"
+)
+
+// config mirrors the fields of the JSON compilation-unit description the
+// go command hands to a vet tool (cmd/go/internal/work.vetConfig). Unknown
+// fields are ignored.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the driver and exits.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (-V=full, used by the go command)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		selected[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-<analyzer>...] [package pattern...]   # standalone, via go vet\n", progname)
+		fmt.Fprintf(os.Stderr, "       %s help                                   # list analyzers\n", progname)
+		fmt.Fprintf(os.Stderr, "       %s unit.cfg                               # go vet -vettool protocol\n", progname)
+		os.Exit(2)
+	}
+	fs.Parse(os.Args[1:])
+
+	if *version != "" {
+		if *version != "full" {
+			fmt.Fprintf(os.Stderr, "%s: unsupported flag value: -V=%s\n", progname, *version)
+			os.Exit(1)
+		}
+		printVersion(progname)
+		os.Exit(0)
+	}
+	if *printFlags {
+		printFlagsJSON(fs)
+		os.Exit(0)
+	}
+
+	// Honor explicit analyzer selection: if any analyzer flag is set, run
+	// exactly the set ones.
+	any := false
+	for _, on := range selected {
+		any = any || *on
+	}
+	if any {
+		var keep []*analysis.Analyzer
+		for _, a := range analyzers {
+			if *selected[a.Name] {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+	}
+
+	args := fs.Args()
+	switch {
+	case len(args) == 1 && args[0] == "help":
+		fmt.Printf("%s is the AS-COMA repository's analyzer suite. Analyzers:\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Printf("  %-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("\nRun it standalone (%s ./...) or as go vet -vettool=$(which %s) ./...\n", progname, progname)
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(progname, args[0], analyzers))
+	default:
+		os.Exit(standalone(progname, fs, args))
+	}
+}
+
+// printVersion emits the fingerprint line the go command parses to include
+// the tool's identity in its action cache key (see cmd/go .. buildid.go):
+// field 2 must be "version" and a "devel" version must end in buildID=...
+func printVersion(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Printf("%s version devel buildID=unknown\n", progname)
+		return
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Printf("%s version devel buildID=unknown\n", progname)
+		return
+	}
+	defer f.Close()
+	h := sha256.New()
+	io.Copy(h, f)
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:16])
+}
+
+// printFlagsJSON describes the tool's flags so go vet can parse and forward
+// them (cmd/go/internal/vet expects [{Name,Bool,Usage}...]).
+func printFlagsJSON(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, _ := json.MarshalIndent(out, "", "\t")
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// standalone re-executes through go vet so the go command does package
+// loading and caching.
+func standalone(progname string, fs *flag.FlagSet, patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	goArgs := []string{"vet", "-vettool=" + exe}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "V" && f.Name != "flags" {
+			goArgs = append(goArgs, fmt.Sprintf("-%s=%s", f.Name, f.Value))
+		}
+	})
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	goArgs = append(goArgs, patterns...)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	return 0
+}
+
+// runUnit analyzes one compilation unit per the vet.cfg protocol.
+func runUnit(progname, cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+
+	// The tool computes no cross-package facts, so a facts-only run has
+	// nothing to do beyond recording an (empty) output for go's cache.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.AppliesTo(cfg.ImportPath) {
+			active = append(active, a)
+		}
+	}
+	if len(active) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	compilerImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return compilerImporter.Import(path)
+	})
+
+	sizes := types.SizesFor(compiler, envOr("GOARCH", runtime.GOARCH))
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	tconf := &types.Config{
+		Importer:  imp,
+		Sizes:     sizes,
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: typecheck %s: %v\n", progname, cfg.ImportPath, err)
+		return 1
+	}
+
+	// The analyzers vet production code only: test files take part in
+	// type-checking above but are excluded from the pass.
+	var analyzed []*ast.File
+	for _, f := range files {
+		if name := fset.Position(f.Pos()).Filename; !strings.HasSuffix(name, "_test.go") {
+			analyzed = append(analyzed, f)
+		}
+	}
+
+	exit := 0
+	for _, a := range active {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     analyzed,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			posn := fset.Position(d.Pos)
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", posn, d.Message, d.Category)
+			exit = 1
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: analyzer %s: %v\n", progname, a.Name, err)
+			exit = 1
+		}
+	}
+
+	writeVetx()
+	return exit
+}
+
+func readConfig(filename string) (*config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

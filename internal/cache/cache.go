@@ -49,6 +49,9 @@ func (c *L1) index(l addr.Line) int { return int(uint64(l) & c.mask) }
 // Lookup reports whether line l can satisfy the access: any valid copy
 // satisfies a read; only a writable copy satisfies a write (which marks it
 // dirty). A write to a read-only copy misses and must obtain ownership.
+// Probed once per reference — both the step loop and fast-forward call it.
+//
+//ascoma:hotpath
 func (c *L1) Lookup(l addr.Line, write bool) bool {
 	s := &c.lines[c.index(l)]
 	if s.valid && s.tag == l && (!write || s.writable) {

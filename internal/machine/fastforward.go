@@ -39,6 +39,8 @@ import (
 //
 // Sampling is unaffected: takeSample runs only at runNode entry, and
 // fast-forward never crosses a quantum boundary.
+//
+//ascoma:hotpath
 func (m *Machine) fastForward(nd *node, now, deadline int64) int64 {
 	hitCycles := m.p.L1HitCycles
 	var (

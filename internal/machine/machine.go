@@ -127,6 +127,8 @@ const (
 
 // refillWindow reports the consumed prefix to the stream and borrows the
 // next pending window. An empty result means end of stream.
+//
+//ascoma:hotpath
 func (nd *node) refillWindow() []workload.Ref {
 	nd.chunks.Skip(nd.pendPos)
 	nd.pendPos = 0
@@ -194,6 +196,8 @@ func (m *Machine) DebugFetchStats() (count int64, mean float64, forwards, withIn
 
 // New builds a machine for the given workload. The workload's node count
 // overrides Params.Nodes.
+//
+//ascoma:stats-finalize stats.Machine
 func New(cfg Config, gen workload.Generator) (*Machine, error) {
 	if cfg.Params.Nodes == 0 {
 		cfg.Params = params.Default()
@@ -460,7 +464,11 @@ func (m *Machine) RunContext(ctx context.Context) (*stats.Machine, error) {
 	return m.st, nil
 }
 
-// runNode advances one node by up to one quantum of simulated time.
+// runNode advances one node by up to one quantum of simulated time. It is
+// the simulator's step loop — every simulated reference passes through it —
+// and must stay allocation-free (ascoma-vet enforces this; see BENCH_PR1).
+//
+//ascoma:hotpath
 func (m *Machine) runNode(nd *node, now int64) {
 	if nd.blocked != 0 {
 		return
@@ -531,6 +539,7 @@ func (m *Machine) runNode(nd *node, now int64) {
 		if ref.Op == workload.Barrier {
 			nd.blocked |= ndWaiting
 			nd.arriveTime = now
+			//ascoma:allow-alloc waiters keeps its capacity across barriers; grows only on the first fill
 			m.waiters = append(m.waiters, nd.id)
 			m.checkBarrier()
 			return
@@ -1132,7 +1141,14 @@ func (m *Machine) runDaemon(nd *node, now int64) int64 {
 	return cost
 }
 
-// finalize computes the run-level aggregates.
+// finalize computes the run-level aggregates. Together with New (which
+// stamps the run identity) it must populate every field of the returned
+// stats — the statsintegrity analyzer checks the pair against the struct
+// definitions, so a counter added to stats.Node or stats.Machine cannot
+// silently stay zero in the goldens.
+//
+//ascoma:stats-finalize stats.Machine
+//ascoma:stats-finalize stats.Node
 func (m *Machine) finalize() {
 	var max int64
 	for i, nd := range m.nodes {

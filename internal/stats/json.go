@@ -42,6 +42,11 @@ func missMap(t [NumMissCats]int64) map[string]int64 {
 	return out
 }
 
+// counterMap flattens a node's scalar counters by name. It is the
+// serialization point the statsintegrity analyzer checks Node's counter
+// fields against: a counter missing here never reaches -json consumers.
+//
+//ascoma:stats-serialize
 func counterMap(n *Node) map[string]int64 {
 	return map[string]int64{
 		"sharedRefs":      n.SharedRefs,
@@ -64,6 +69,8 @@ func counterMap(n *Node) map[string]int64 {
 }
 
 // Report builds the JSON view of a finished run.
+//
+//ascoma:stats-serialize
 func Report(m *Machine) JSONReport {
 	r := JSONReport{
 		Arch:     m.Arch,
@@ -86,10 +93,12 @@ func Report(m *Machine) JSONReport {
 			Misses:   missMap(n.Misses),
 			Counters: counterMap(n),
 		})
+		//ascoma:allow-nondet accumulates into a map; commutative, order-independent
 		for k, v := range counterMap(n) {
 			agg[k] += v
 		}
 	}
+	//ascoma:allow-nondet copies map to map; order-independent
 	for k, v := range agg {
 		r.Counters[k] = v
 	}

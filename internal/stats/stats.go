@@ -67,6 +67,14 @@ func (c MissCat) String() string {
 }
 
 // Node accumulates the statistics of one node.
+//
+// Every field must be exported and reach the flattened JSON report — the
+// golden checksums hash json.Marshal of this struct, and downstream tooling
+// reads the name-keyed view built by counterMap/Report in json.go. Add a
+// field here and ascoma-vet (statsintegrity) fails until it appears there
+// too.
+//
+//ascoma:stats
 type Node struct {
 	Time   [NumTimeCats]int64 // cycles per execution-time category
 	Misses [NumMissCats]int64 // shared-data miss counts by satisfaction site
@@ -111,6 +119,11 @@ func (n *Node) TotalMisses() int64 {
 }
 
 // Machine aggregates per-node statistics for one simulation run.
+//
+// Like Node, every field is pinned by the golden checksums and must reach
+// the serialized report; see the //ascoma:stats contract in DESIGN.md §9.
+//
+//ascoma:stats
 type Machine struct {
 	Arch     string
 	Workload string
@@ -252,6 +265,7 @@ func BreakdownRow(m *Machine, base int64) []float64 {
 // debugging convenience.
 func SortedPercent(counts map[string]int64) string {
 	var total int64
+	//ascoma:allow-nondet commutative sum; order-independent
 	for _, v := range counts {
 		total += v
 	}
@@ -260,6 +274,7 @@ func SortedPercent(counts map[string]int64) string {
 		v int64
 	}
 	list := make([]kv, 0, len(counts))
+	//ascoma:allow-nondet entries are collected and sorted below
 	for k, v := range counts {
 		list = append(list, kv{k, v})
 	}

@@ -135,6 +135,8 @@ func Recycle(s Stream) {
 }
 
 // Next returns the next reference; ok is false at end of stream.
+//
+//ascoma:hotpath
 func (s *Compiled) Next() (Ref, bool) {
 	if s.pos == s.n {
 		s.refill()
@@ -158,7 +160,11 @@ func (s *Compiled) Pending() []Ref {
 // Skip consumes the first n references of Pending.
 func (s *Compiled) Skip(n int) { s.pos += n }
 
-// refill decodes the next chunk of references into the buffer.
+// refill decodes the next chunk of references into the buffer. The decode
+// loops write into the stream's fixed chunk array; nothing here may
+// allocate (ascoma-vet enforces it).
+//
+//ascoma:hotpath
 func (s *Compiled) refill() {
 	s.pos, s.n = 0, 0
 	for s.n < ChunkSize && s.pc < len(s.prog.instrs) {
@@ -187,6 +193,8 @@ func (s *Compiled) refill() {
 // refillWalk expands as much of the current walk as fits in the chunk.
 // Walk offsets never need the interpreter's clamp: count = ceil(bytes /
 // stride), so (count-1)*stride < bytes always.
+//
+//ascoma:hotpath
 func (s *Compiled) refillWalk(in *cinstr) {
 	for {
 		left := in.count - s.i
@@ -237,6 +245,8 @@ func (s *Compiled) refillWalk(in *cinstr) {
 }
 
 // refillScatter expands as much of the current scatter as fits in the chunk.
+//
+//ascoma:hotpath
 func (s *Compiled) refillScatter(in *cinstr) {
 	if s.i == 0 {
 		s.rnd = newRNG(in.seed)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 
 	"ascoma/internal/addr"
 )
@@ -64,11 +65,25 @@ func (t *Trace) HomePagesPerNode() int { return t.HomePages }
 // PrivatePagesPerNode returns the recorded private footprint.
 func (t *Trace) PrivatePagesPerNode() int { return t.PrivPages }
 
-// Place replays the recorded placement.
+// Place replays the recorded placement in ascending page order. Placement
+// order is observable — the VM hands out physical frames in allocation
+// order — so iterating the map directly would make frame assignment (and
+// every downstream conflict pattern) vary run to run.
 func (t *Trace) Place(place func(p addr.Page, home int)) {
-	for p, h := range t.Placement {
-		place(p, h)
+	for _, p := range t.sortedPages() {
+		place(p, t.Placement[p])
 	}
+}
+
+// sortedPages returns the placed pages in ascending order.
+func (t *Trace) sortedPages() []addr.Page {
+	pages := make([]addr.Page, 0, len(t.Placement))
+	//ascoma:allow-nondet keys are collected and sorted before use
+	for p := range t.Placement {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
 }
 
 // Stream replays node i's recorded references.
@@ -96,8 +111,10 @@ var opCode = map[Op]byte{Read: 'r', Write: 'w', Barrier: 'b', Lock: 'l', Unlock:
 func (t *Trace) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "trace %d %d %d %s\n", t.NumNodes, t.HomePages, t.PrivPages, t.TraceName)
-	for p, h := range t.Placement {
-		fmt.Fprintf(bw, "place %d %d\n", uint64(p), h)
+	// Encode placement in sorted page order so the same trace always
+	// serializes to the same bytes.
+	for _, p := range t.sortedPages() {
+		fmt.Fprintf(bw, "place %d %d\n", uint64(p), t.Placement[p])
 	}
 	for n, refs := range t.Refs {
 		fmt.Fprintf(bw, "node %d %d\n", n, len(refs))

@@ -404,6 +404,7 @@ func New(name string, scale int) (Generator, error) {
 // Names returns the registered workload names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
+	//ascoma:allow-nondet keys are collected and sorted before use
 	for k := range registry {
 		out = append(out, k)
 	}
