@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke
+.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke trace-check
 
 all: build
 
@@ -24,13 +24,27 @@ vet:
 	$(GO) build -o .bin/ascoma-vet ./cmd/ascoma-vet
 	$(GO) vet -vettool=.bin/ascoma-vet ./...
 
+# trace-check proves flight-recorder determinism end to end through the
+# real binaries: record the same observed run twice with ascoma-sim and
+# require the trace files to be byte-identical, then decode one with
+# ascoma-inspect so a codec regression fails loudly.
+trace-check:
+	$(GO) build -o .bin/ascoma-sim ./cmd/ascoma-sim
+	$(GO) build -o .bin/ascoma-inspect ./cmd/ascoma-inspect
+	.bin/ascoma-sim -arch ascoma -workload radix -pressure 70 -scale 16 -trace .bin/trace-a -epoch 5000 >/dev/null
+	.bin/ascoma-sim -arch ascoma -workload radix -pressure 70 -scale 16 -trace .bin/trace-b -epoch 5000 >/dev/null
+	cmp .bin/trace-a .bin/trace-b
+	.bin/ascoma-inspect summary .bin/trace-a >/dev/null
+
 # verify is the pre-commit gate: vet (stock + ascoma-vet), build, the full
 # test suite (including the golden determinism test), a short race-detector
-# smoke over the internal packages, and the server smoke test.
+# smoke over the internal packages, the trace-determinism check, and the
+# server smoke test.
 verify: vet
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./internal/...
+	$(MAKE) trace-check
 	$(GO) run ./cmd/ascoma-serve -smoke
 
 # bench runs the full tracked benchmark set (BENCH_PR*.json) with the exact

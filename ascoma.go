@@ -31,6 +31,7 @@ import (
 
 	"ascoma/internal/core"
 	"ascoma/internal/machine"
+	"ascoma/internal/obs"
 	"ascoma/internal/params"
 	"ascoma/internal/stats"
 	"ascoma/internal/workload"
@@ -92,6 +93,31 @@ type Config struct {
 	// relocation threshold, pool size, remap counts) every that-many
 	// cycles into Result.Samples — the adaptation timeline.
 	SampleInterval int64
+	// Obs attaches a flight recorder and epoch probes to the run (see
+	// internal/obs and Recording). Nil leaves observability off. Excluded
+	// from the content-addressed cache key: a Recording is an output
+	// channel, not a simulation parameter — results are identical with or
+	// without one, and runcache bypasses the cache when it is set so the
+	// simulation actually executes and fills it.
+	Obs *Recording `json:"-"`
+}
+
+// Recording re-exports the observability container (see internal/obs): a
+// flight-recorder event ring plus per-node epoch probe series, filled in
+// during the run and encodable with WriteTrace.
+type Recording = obs.Recording
+
+// NewRecording builds a recording with an event ring of eventCap entries
+// (0 = the 64 Ki default) sampling epoch probes every epochInterval cycles
+// (0 = no epoch probes).
+func NewRecording(eventCap int, epochInterval int64) *Recording {
+	return obs.NewRecording(eventCap, epochInterval)
+}
+
+// WriteTrace encodes a recording to the deterministic binary trace format
+// read by cmd/ascoma-inspect. Identical runs produce byte-identical files.
+func WriteTrace(path string, rec *Recording) error {
+	return obs.WriteFile(path, rec)
 }
 
 // Sample is one adaptation-timeline point (see Config.SampleInterval).
@@ -153,6 +179,7 @@ func RunGeneratorContext(ctx context.Context, cfg Config, gen workload.Generator
 		Params:         cfg.Params,
 		MaxCycles:      cfg.MaxCycles,
 		SampleInterval: cfg.SampleInterval,
+		Obs:            cfg.Obs,
 	}
 	if cfg.Ablation != AblationNone {
 		if cfg.Arch != ASCOMA {

@@ -331,6 +331,29 @@ func BenchmarkHotPath(b *testing.B) {
 	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/sec")
 }
 
+// BenchmarkHotPathRecorded is BenchmarkHotPath with a live flight recorder
+// and epoch probes attached: the delta against BenchmarkHotPath is the
+// full observability overhead. The recorder is preallocated outside the
+// timed loop, so allocs/op should match the unrecorded benchmark — every
+// Emit lands in the fixed ring and every epoch sample in the fixed series.
+func BenchmarkHotPathRecorded(b *testing.B) {
+	b.ReportAllocs()
+	rec := NewRecording(1<<14, 10_000)
+	var refs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Events.Reset()
+		res, err := Run(Config{Arch: ASCOMA, Workload: "uniform", Pressure: 50,
+			Scale: benchScale, Obs: rec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += res.Counter(func(n *stats.Node) int64 { return n.SharedRefs + n.PrivateRefs })
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/sec")
+	b.ReportMetric(float64(rec.Events.Total()), "events/run")
+}
+
 // BenchmarkGridRow runs one application across the full pressure row of a
 // figure grid with no result cache: every cell builds its own machine and
 // workload, so allocs/op measures the per-cell construction overhead that

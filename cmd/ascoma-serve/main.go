@@ -8,7 +8,9 @@
 //	POST /api/v1/run          {"arch":"AS-COMA","workload":"radix","pressure":70,"scale":8}
 //	GET  /api/v1/figure/{app} ?format=table|csv|chart&pressures=10,90&scale=8
 //	GET  /healthz
-//	GET  /debug/vars          expvar: cache hit rate, in-flight runs, per-arch latency
+//	GET  /metrics             Prometheus text exposition: request counts and
+//	                          latency, in-flight runs, run-cache hit counters
+//	GET  /debug/vars          expvar shim over the same metrics (legacy consumers)
 //	GET  /debug/pprof/...     live profiling; only registered with -pprof
 //
 // Identical concurrent requests collapse onto one simulation
@@ -42,6 +44,7 @@ import (
 	"time"
 
 	"ascoma"
+	"ascoma/internal/obs"
 	"ascoma/internal/report"
 	"ascoma/internal/runcache"
 	"ascoma/internal/stats"
@@ -58,27 +61,44 @@ var (
 	pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints leak runtime detail)")
 )
 
-// server holds the orchestration layer and the request-level metrics.
+// server holds the orchestration layer and the request-level metrics. The
+// metrics live on an obs.Registry (served at /metrics in Prometheus text
+// form); /debug/vars remains as an expvar shim reading the same counters.
 type server struct {
 	runner  *runcache.Runner
 	cache   *runcache.Cache
 	timeout time.Duration
 
-	archRuns  *expvar.Map // completed runs per architecture
-	archNanos *expvar.Map // cumulative simulation latency per architecture
+	reg        *obs.Registry
+	archRuns   *obs.CounterVec // completed requests by architecture (+ "figure")
+	archNanos  *obs.CounterVec // cumulative request latency by architecture
+	runSeconds *obs.Histogram  // request latency distribution
 }
 
 func newServer(cache *runcache.Cache, jobs int, timeout time.Duration) *server {
-	return &server{
-		runner:    &runcache.Runner{Cache: cache, Jobs: jobs},
-		cache:     cache,
-		timeout:   timeout,
-		archRuns:  new(expvar.Map).Init(),
-		archNanos: new(expvar.Map).Init(),
+	runner := &runcache.Runner{Cache: cache, Jobs: jobs}
+	reg := obs.NewRegistry()
+	s := &server{
+		runner:  runner,
+		cache:   cache,
+		timeout: timeout,
+		reg:     reg,
+		archRuns: reg.NewCounterVec("ascoma_requests_total",
+			"Completed simulation requests by architecture (figure renders count as \"figure\").", "arch"),
+		archNanos: reg.NewCounterVec("ascoma_request_nanos_total",
+			"Cumulative request latency in nanoseconds by architecture.", "arch"),
+		runSeconds: reg.NewHistogram("ascoma_request_seconds",
+			"Request latency in seconds (cache hits and fresh simulations alike).", nil),
 	}
+	reg.NewGaugeFunc("ascoma_inflight_runs",
+		"Simulations currently executing (cache hits never count).",
+		func() float64 { return float64(runner.InFlight()) })
+	cache.Publish(reg)
+	return s
 }
 
-// publishVars registers the service metrics with expvar. Guarded for the
+// publishVars registers the expvar shim: the same keys the service exposed
+// before the obs registry existed, now reading through it. Guarded for the
 // tests, which build several servers per process; the first server's
 // closures win, matching the one-server-per-process deployment.
 var publishOnce sync.Once
@@ -87,8 +107,8 @@ func (s *server) publishVars() {
 	publishOnce.Do(func() {
 		expvar.Publish("ascoma_cache", expvar.Func(func() any { return s.cache.Stats() }))
 		expvar.Publish("ascoma_inflight_runs", expvar.Func(func() any { return s.runner.InFlight() }))
-		expvar.Publish("ascoma_runs", s.archRuns)
-		expvar.Publish("ascoma_run_nanos", s.archNanos)
+		expvar.Publish("ascoma_runs", expvar.Func(func() any { return s.archRuns.Snapshot() }))
+		expvar.Publish("ascoma_run_nanos", expvar.Func(func() any { return s.archNanos.Snapshot() }))
 	})
 }
 
@@ -98,6 +118,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n") //nolint:errcheck // client-side failure
 	})
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("POST /api/v1/run", s.handleRun)
 	mux.HandleFunc("GET /api/v1/figure/{app}", s.handleFigure)
@@ -170,8 +191,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	s.archRuns.Add(arch.String(), 1)
-	s.archNanos.Add(arch.String(), time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	s.archRuns.With(arch.String()).Inc()
+	s.archNanos.With(arch.String()).Add(elapsed.Nanoseconds())
+	s.runSeconds.Observe(elapsed.Seconds())
 
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(runResponse{Result: stats.Report(res.Machine), Samples: res.Samples}); err != nil {
@@ -226,8 +249,10 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	s.archRuns.Add("figure", 1)
-	s.archNanos.Add("figure", time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	s.archRuns.With("figure").Inc()
+	s.archNanos.With("figure").Add(elapsed.Nanoseconds())
+	s.runSeconds.Observe(elapsed.Seconds())
 	if opts.Format == "csv" {
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 	} else {
@@ -348,6 +373,21 @@ func runSmoke(s *server) error {
 	}
 	if !strings.Contains(string(runBody), "execTimeCycles") {
 		return fmt.Errorf("run body missing stats: %q", runBody)
+	}
+
+	metricsBody, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		`ascoma_requests_total{arch="AS-COMA"}`,
+		"ascoma_runcache_sims_total",
+		"ascoma_request_seconds_count",
+		"ascoma_inflight_runs",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			return fmt.Errorf("metrics exposition missing %q:\n%s", want, metricsBody)
+		}
 	}
 
 	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

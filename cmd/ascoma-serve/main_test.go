@@ -164,6 +164,44 @@ func TestExpvarExposed(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Drive one run so the request counters are live.
+	resp, err := http.Post(ts.URL+"/api/v1/run", "application/json",
+		strings.NewReader(`{"arch":"CC-NUMA","workload":"uniform","pressure":70,"scale":32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE ascoma_requests_total counter",
+		`ascoma_requests_total{arch="CC-NUMA"} 1`,
+		"ascoma_request_seconds_count 1",
+		"ascoma_runcache_sims_total 1",
+		"ascoma_inflight_runs 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 func TestSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("smoke covered by endpoint tests")

@@ -28,6 +28,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full statistics as JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	trace := flag.String("trace", "", "record a flight-recorder trace to this file (inspect with ascoma-inspect)")
+	epoch := flag.Int64("epoch", 0, "with -trace, sample per-node epoch probes every N cycles (0 = events only)")
 	flag.Parse()
 
 	a, err := ascoma.ParseArch(*arch)
@@ -40,11 +42,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var rec *ascoma.Recording
+	if *trace != "" {
+		rec = ascoma.NewRecording(0, *epoch)
+	} else if *epoch != 0 {
+		fmt.Fprintln(os.Stderr, "ascoma-sim: -epoch requires -trace")
+		os.Exit(2)
+	}
 	res, err := ascoma.Run(ascoma.Config{
 		Arch:     a,
 		Workload: *wl,
 		Pressure: *pressure,
 		Scale:    *scale,
+		Obs:      rec,
 	})
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, perr)
@@ -52,6 +62,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		if err := ascoma.WriteTrace(*trace, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ascoma-sim: wrote %s (%d events recorded, %d epochs)\n",
+			*trace, rec.Events.Total(), epochLen(rec))
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -78,4 +96,11 @@ func main() {
 		}
 		fmt.Print(t.String())
 	}
+}
+
+func epochLen(rec *ascoma.Recording) int {
+	if rec.Epochs == nil {
+		return 0
+	}
+	return rec.Epochs.Len()
 }

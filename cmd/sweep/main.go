@@ -37,6 +37,7 @@ import (
 	"syscall"
 
 	"ascoma"
+	"ascoma/internal/obs"
 	"ascoma/internal/prof"
 	"ascoma/internal/report"
 	"ascoma/internal/runcache"
@@ -56,6 +57,8 @@ var (
 	cacheDir    = flag.String("cachedir", "", "persist simulation results in this directory and reuse them across invocations")
 	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	trace       = flag.String("trace", "", "record a flight-recorder trace of one AS-COMA run to this file (requires -app; inspect with ascoma-inspect)")
+	epoch       = flag.Int64("epoch", 0, "with -trace, sample per-node epoch probes every N cycles (0 = events only)")
 )
 
 // stopProf finishes any active profiles; fail() runs it before os.Exit so a
@@ -92,8 +95,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// The cache publishes its counters (hits, sims, hit ratio) into a
+		// metrics registry; the exit report renders that registry — the
+		// same exposition ascoma-serve serves at /metrics.
+		reg := obs.NewRegistry()
+		cache.Publish(reg)
 		defer func() {
-			fmt.Fprintf(os.Stderr, "sweep: cache %s\n", cache.Stats())
+			fmt.Fprintln(os.Stderr, "sweep: run-cache metrics:")
+			reg.WriteText(os.Stderr) //nolint:errcheck // best-effort exit report
 		}()
 	}
 	runner := &runcache.Runner{Cache: cache, Jobs: *jobs}
@@ -115,6 +124,13 @@ func main() {
 		apps = []string{*app}
 	default:
 		apps = report.FigureApps(*fig)
+	}
+
+	if *trace != "" {
+		if *app == "" {
+			fail(fmt.Errorf("sweep: -trace requires -app"))
+		}
+		run(recordTrace(ctx, runner, *app, plist, *scale, *trace, *epoch))
 	}
 
 	switch *table {
@@ -150,6 +166,30 @@ func main() {
 			run(writeSVGs(ctx, *svgDir, a, opts))
 		}
 	}
+}
+
+// recordTrace runs the application's most pressured AS-COMA cell with a
+// flight recorder attached and writes the binary trace. Observed runs
+// bypass the result cache (the simulation must actually execute to fill
+// the recording), so this costs one extra simulation even on a warm cache.
+func recordTrace(ctx context.Context, runner *runcache.Runner, app string, pressures []int, scale int, path string, epoch int64) error {
+	rec := ascoma.NewRecording(0, epoch)
+	p := slices.Max(pressures)
+	if _, err := runner.Run(ctx, ascoma.Config{
+		Arch:     ascoma.ASCOMA,
+		Workload: app,
+		Pressure: p,
+		Scale:    scale,
+		Obs:      rec,
+	}); err != nil {
+		return err
+	}
+	if err := ascoma.WriteTrace(path, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: wrote %s (AS-COMA %s pressure=%d%%, %d events recorded)\n",
+		path, app, p, rec.Events.Total())
+	return nil
 }
 
 // writeSVGs renders one application's two panels into <dir>/<app>_time.svg

@@ -43,6 +43,7 @@ var DeterministicPackages = []string{
 	"ascoma/internal/dense",
 	"ascoma/internal/workload",
 	"ascoma/internal/stats",
+	"ascoma/internal/obs",
 }
 
 // Analyzer is the nondet analysis.

@@ -19,6 +19,7 @@ import (
 
 	"ascoma/internal/addr"
 	"ascoma/internal/dense"
+	"ascoma/internal/obs"
 	"ascoma/internal/params"
 )
 
@@ -128,6 +129,11 @@ type Directory struct {
 
 	invalidate Invalidator
 	writeback  Writebacker
+
+	// rec is the attached flight recorder (nil = observability off). The
+	// owning machine stamps its clock before Fetch, so the refetch-hot
+	// event below carries the simulated cycle of the triggering fetch.
+	rec *obs.Recorder
 }
 
 // New creates a directory for n nodes. homeLimit caps first-touch home
@@ -161,6 +167,10 @@ func (d *Directory) Reset(homeLimit, threshold int) {
 	}
 	d.rrNext = 0
 }
+
+// SetRecorder attaches a flight recorder for refetch-hot events (nil
+// detaches).
+func (d *Directory) SetRecorder(r *obs.Recorder) { d.rec = r }
 
 // entry returns the live entry for page p, or nil when the page has no home
 // yet.
@@ -298,6 +308,11 @@ func (d *Directory) Fetch(node int, b addr.Block, write, haveData bool) FetchRes
 		e.refetch[node]++
 		res.RefetchCount = e.refetch[node]
 		if int(e.refetch[node]) >= d.threshold {
+			if d.rec != nil && e.everHot&bit == 0 {
+				// First crossing of the initial threshold for this
+				// (page, node): the page just became relocation-hot.
+				d.rec.Emit(obs.EvRefetchHot, node, uint32(p.MustIndex()), e.refetch[node])
+			}
 			e.everHot |= bit
 		}
 	} else {

@@ -108,6 +108,7 @@ func (m *Machine) recycle(sh shape, p *params.Params) {
 	m.invHome, m.invDelay = 0, 0
 	m.checker = nil
 	m.nextSample = 0
+	m.nextEpoch = 0
 	m.fetchCount, m.fetchTotal, m.fwdCount, m.invCount = 0, 0, 0, 0
 	m.stageWait = [4]int64{}
 }
@@ -129,11 +130,16 @@ func (m *Machine) Release() {
 		nd.chunks = nil
 		nd.pend, nd.pendPos = nil, 0
 		nd.pol = nil
+		nd.vmm.SetRecorder(nil)
 	}
 	m.gen = nil
 	m.net = nil
 	m.st = nil
 	m.samples = nil
 	m.checker = nil
+	// Drop the run's observability instruments so pooling does not pin a
+	// caller's Recording.
+	m.rec, m.ep = nil, nil
+	m.dir.SetRecorder(nil)
 	arenaPut(m)
 }

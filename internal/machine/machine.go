@@ -17,6 +17,7 @@ import (
 	"ascoma/internal/dense"
 	"ascoma/internal/directory"
 	"ascoma/internal/network"
+	"ascoma/internal/obs"
 	"ascoma/internal/params"
 	"ascoma/internal/sim"
 	"ascoma/internal/stats"
@@ -53,6 +54,12 @@ type Config struct {
 	// state every SampleInterval cycles — the data behind adaptation
 	// timelines (threshold, free pool, relocation counts over time).
 	SampleInterval int64
+	// Obs attaches a flight recorder and epoch probes to the run (see
+	// internal/obs). Nil disables observability: every emit site guards on
+	// a nil recorder, so a disabled run pays one branch on the slow paths
+	// and nothing on the per-reference path. Events are stamped with
+	// simulated cycles only, so a recording never perturbs the simulation.
+	Obs *obs.Recording
 }
 
 // Sample is one point of the adaptation timeline recorded for node 0.
@@ -106,6 +113,7 @@ type node struct {
 
 	arriveTime     int64 // barrier/lock arrival time
 	daemonInterval int64
+	prevThresh     int // last relocation threshold seen by the flight recorder
 
 	rac *cache.RAC
 	vmm *vm.VM
@@ -152,6 +160,14 @@ type Machine struct {
 	quantum    int64
 	maxCycles  int64
 	sampleIntv int64
+	epochIntv  int64
+
+	// Observability instruments (nil when Config.Obs is unset). rec is
+	// shared with the per-node VMs and the directory, which emit through
+	// the same ring; the machine stamps rec.Clock at every kernel-path
+	// entry so their events carry the current simulated cycle.
+	rec *obs.Recorder
+	ep  *obs.Epochs
 
 	shape    shape // arena pool key (see arena.go)
 	released bool
@@ -176,6 +192,7 @@ type Machine struct {
 
 	samples    []Sample
 	nextSample int64
+	nextEpoch  int64
 
 	// Remote-fetch latency accounting for capacity analysis (DebugFetch).
 	fetchCount int64
@@ -247,6 +264,19 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 	p := m.p
 
 	n := p.Nodes
+
+	// Attach (or detach) the observability instruments. Unconditional:
+	// recycled machines must not carry a previous run's recorder.
+	m.rec, m.ep, m.epochIntv, m.nextEpoch = nil, nil, 0, 0
+	if o := cfg.Obs; o != nil {
+		m.rec = o.Events
+		if o.Epochs != nil && o.Epochs.Interval > 0 {
+			m.ep = o.Epochs
+			m.ep.SetNodes(n)
+			m.epochIntv = m.ep.Interval
+		}
+	}
+	m.dir.SetRecorder(m.rec)
 	m.net = network.New(p)
 	m.st = stats.NewMachine(n)
 	m.st.Arch = cfg.Arch.String()
@@ -263,6 +293,8 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 		nd.st = stats.Node{}
 		nd.nextDaemon = p.DaemonInterval
 		nd.daemonInterval = p.DaemonInterval
+		nd.prevThresh = nd.pol.Threshold()
+		nd.vmm.SetRecorder(m.rec)
 		if err := nd.vmm.ReserveHome(resident); err != nil {
 			return nil, err
 		}
@@ -475,6 +507,9 @@ func (m *Machine) runNode(nd *node, now int64) {
 	}
 	if m.sampleIntv > 0 && nd.id == 0 && now >= m.nextSample {
 		m.takeSample(nd, now)
+	}
+	if m.epochIntv > 0 && nd.id == 0 && now >= m.nextEpoch {
+		m.takeEpoch(now)
 	}
 	deadline := now + m.quantum
 	for now < deadline {
@@ -822,6 +857,9 @@ func (m *Machine) remoteFetch(nd *node, pte *vm.PTE, b addr.Block, write, haveDa
 	m.stageWait[1] += t - t0 - m.net.Latency(nd.id, home) - p.NetPortOccupancy - p.DirCycles
 
 	m.invHome, m.invDelay = home, 0
+	if m.rec != nil {
+		m.rec.Clock = t // the directory emits refetch-hot events during Fetch
+	}
 	res := m.dir.Fetch(nd.id, b, write, haveData)
 
 	// The home node's own processor cache is outside the directory's
@@ -927,6 +965,9 @@ func (m *Machine) l1Fill(nd *node, line addr.Line, write bool, now int64) {
 func (m *Machine) pageFault(nd *node, page addr.Page, now int64) (*vm.PTE, int64) {
 	p := m.p
 	nd.st.PageFaults++
+	if m.rec != nil {
+		m.rec.Clock = now // pool events and pure-S-COMA evictions fire below
+	}
 	base := p.PageFaultCycles
 	nd.st.Time[stats.KBase] += base
 
@@ -978,6 +1019,9 @@ func (m *Machine) relocate(nd *node, pte *vm.PTE, now int64) int64 {
 	}
 	p := m.p
 	cost := p.InterruptCycles
+	if m.rec != nil {
+		m.rec.Clock = now
+	}
 	m.dir.ResetRefetch(pte.Page, nd.id)
 
 	ok := nd.vmm.Upgrade(pte)
@@ -1005,9 +1049,17 @@ func (m *Machine) relocate(nd *node, pte *vm.PTE, now int64) int64 {
 		nd.tlb.invalidate(pte.Page) // remap shoots down the translation
 		cost += p.RelocationCycles + int64(flushed)*p.L1FlushLine + int64(dirty)*p.FlushBlockWBCycles
 		nd.st.Upgrades++
+		if m.rec != nil {
+			m.rec.Emit(obs.EvUpgrade, nd.id, uint32(pte.Page.MustIndex()), uint32(nd.vmm.Free()))
+			m.rec.Emit(obs.EvTLBShootdown, nd.id, uint32(pte.Page.MustIndex()), obs.ShootdownUpgrade)
+		}
 	} else {
 		nd.pol.NoteUpgradeBlocked()
 		nd.st.RelocDenied++
+		if m.rec != nil {
+			m.rec.Emit(obs.EvRelocDenied, nd.id, uint32(pte.Page.MustIndex()), uint32(nd.vmm.Free()))
+			m.noteThreshold(nd) // NoteUpgradeBlocked may back the threshold off
+		}
 	}
 	nd.st.Time[stats.KOverhead] += cost
 	return cost
@@ -1023,11 +1075,17 @@ func (m *Machine) migrate(nd *node, mig core.Migrator, pte *vm.PTE, now int64) i
 	cost := p.InterruptCycles
 	page := pte.Page
 	oldHome := pte.Home
+	if m.rec != nil {
+		m.rec.Clock = now
+	}
 	m.dir.ResetRefetch(page, nd.id)
 
 	if !nd.vmm.AdoptHomePage() {
 		// No free physical page to hold the migrated copy.
 		nd.st.RelocDenied++
+		if m.rec != nil {
+			m.rec.Emit(obs.EvRelocDenied, nd.id, uint32(page.MustIndex()), uint32(nd.vmm.Free()))
+		}
 		nd.st.Time[stats.KOverhead] += cost
 		return cost
 	}
@@ -1069,6 +1127,10 @@ func (m *Machine) migrate(nd *node, mig core.Migrator, pte *vm.PTE, now int64) i
 	cost += p.MigrationCycles
 	nd.st.Migrations++
 	mig.NoteMigration()
+	if m.rec != nil {
+		m.rec.Emit(obs.EvMigrate, nd.id, uint32(page.MustIndex()), uint32(oldHome))
+		m.rec.Emit(obs.EvTLBShootdown, nd.id, uint32(page.MustIndex()), obs.ShootdownMigrate)
+	}
 	nd.st.Time[stats.KOverhead] += cost
 	return cost
 }
@@ -1092,6 +1154,12 @@ func (m *Machine) evict(nd *node, victim *vm.PTE) int64 {
 	nd.tlb.invalidate(victim.Page)
 	nd.st.Downgrades++
 	nd.pol.NoteEviction(hits, nd.vmm.SComaPages())
+	if m.rec != nil {
+		// Callers (relocate, runDaemon, pageFault) stamp the clock at entry.
+		m.rec.Emit(obs.EvDowngrade, nd.id, uint32(victim.Page.MustIndex()), hits)
+		m.rec.Emit(obs.EvTLBShootdown, nd.id, uint32(victim.Page.MustIndex()), obs.ShootdownEvict)
+		m.noteThreshold(nd) // NoteEviction feeds the thrash detector
+	}
 	return p.RelocationCycles + int64(flushed)*p.L1FlushLine + int64(dirty)*p.FlushBlockWBCycles
 }
 
@@ -1111,6 +1179,10 @@ func (m *Machine) runDaemon(nd *node, now int64) int64 {
 	if vmm.Free() < vmm.FreeMin() {
 		nd.st.DaemonRuns++
 		cost = p.DaemonWakeCycles
+		if m.rec != nil {
+			m.rec.Clock = now
+			m.rec.Emit(obs.EvDaemonWake, nd.id, uint32(vmm.Free()), uint32(vmm.FreeMin()))
+		}
 		// One clock sweep per invocation: a page whose reference bit
 		// this run clears is evicted only if it is still unreferenced
 		// when the daemon next wakes — that interval is the second
@@ -1132,9 +1204,16 @@ func (m *Machine) runDaemon(nd *node, now int64) int64 {
 		nd.st.DaemonReclaimed += int64(reclaimed)
 		scale := nd.pol.NoteDaemonPass(vmm.Free(), vmm.FreeTarget(), reclaimed, totalScanned)
 		nd.daemonInterval = p.DaemonInterval * scale
+		if m.rec != nil {
+			m.noteThreshold(nd) // the daemon pass may relax a backed-off threshold
+		}
 	} else if vmm.Free() >= vmm.FreeTarget() {
 		scale := nd.pol.NoteDaemonPass(vmm.Free(), vmm.FreeTarget(), 0, 0)
 		nd.daemonInterval = p.DaemonInterval * scale
+		if m.rec != nil {
+			m.rec.Clock = now
+			m.noteThreshold(nd)
+		}
 	}
 	nd.st.Time[stats.KOverhead] += cost
 	nd.nextDaemon = now + cost + nd.daemonInterval
@@ -1192,6 +1271,37 @@ func (m *Machine) takeSample(nd *node, now int64) {
 // Samples returns the adaptation timeline recorded for node 0 (empty
 // unless Config.SampleInterval was set).
 func (m *Machine) Samples() []Sample { return m.samples }
+
+// takeEpoch records one probe row across every node into the attached
+// epoch series. Like takeSample it runs on node 0's dispatch, so each row
+// is captured at a deterministic point of the event order and the series
+// is bit-identical across identical runs.
+func (m *Machine) takeEpoch(now int64) {
+	m.ep.Begin(now)
+	for _, nd := range m.nodes {
+		m.ep.Set(obs.ProbeFreePages, nd.id, int64(nd.vmm.Free()))
+		m.ep.Set(obs.ProbeSComaPages, nd.id, int64(nd.vmm.SComaPages()))
+		m.ep.Set(obs.ProbeThreshold, nd.id, int64(nd.pol.Threshold()))
+		m.ep.Set(obs.ProbeUpgrades, nd.id, nd.st.Upgrades)
+		m.ep.Set(obs.ProbeDowngrades, nd.id, nd.st.Downgrades)
+		m.ep.Set(obs.ProbeShMemStall, nd.id, nd.st.Time[stats.UShMem])
+		m.ep.Set(obs.ProbeRemoteMisses, nd.id,
+			nd.st.Misses[stats.Home]+nd.st.Misses[stats.Cold]+nd.st.Misses[stats.ConfCapc])
+	}
+	m.nextEpoch = now + m.epochIntv
+}
+
+// noteThreshold emits a threshold-transition event when the node's
+// relocation threshold moved since the last emission — AS-COMA's back-off
+// and recovery become visible edges in the trace instead of being
+// reconstructed from daemon-pass context. Callers guarantee m.rec != nil
+// and a freshly stamped clock.
+func (m *Machine) noteThreshold(nd *node) {
+	if t := nd.pol.Threshold(); t != nd.prevThresh {
+		m.rec.Emit(obs.EvThreshold, nd.id, uint32(t), uint32(nd.prevThresh))
+		nd.prevThresh = t
+	}
+}
 
 // Utilization returns per-node busy cycles of the contended resources
 // (bus, memory banks, directory controller, network input port) for

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// sampleRecording builds a recording with both instruments populated,
+// optionally wrapped past the ring capacity.
+func sampleRecording(wrap bool) *Recording {
+	rec := NewRecording(8, 500)
+	n := 5
+	if wrap {
+		n = 19
+	}
+	for i := 0; i < n; i++ {
+		rec.Events.Clock = int64(i * 37)
+		rec.Events.Emit(Kind(1+i%int(NumKinds()-1)), i%3, uint32(i*11), uint32(i))
+	}
+	rec.Epochs.SetNodes(3)
+	for e := 0; e < 4; e++ {
+		rec.Epochs.Begin(int64(500 * (e + 1)))
+		for nd := 0; nd < 3; nd++ {
+			for p := Probe(0); p < NumProbes; p++ {
+				rec.Epochs.Set(p, nd, int64(e*100+nd*10+int(p)))
+			}
+		}
+	}
+	return rec
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		rec := sampleRecording(wrap)
+		blob := AppendRecording(nil, rec)
+
+		dec, err := DecodeRecording(blob)
+		if err != nil {
+			t.Fatalf("wrap=%v: decode: %v", wrap, err)
+		}
+		if dec.Events.Cap() != rec.Events.Cap() || dec.Events.Total() != rec.Events.Total() {
+			t.Fatalf("wrap=%v: cap/total %d/%d want %d/%d",
+				wrap, dec.Events.Cap(), dec.Events.Total(), rec.Events.Cap(), rec.Events.Total())
+		}
+		want, got := rec.Events.Events(), dec.Events.Events()
+		if len(want) != len(got) {
+			t.Fatalf("wrap=%v: %d events decoded, want %d", wrap, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("wrap=%v: event %d = %+v, want %+v", wrap, i, got[i], want[i])
+			}
+		}
+		if dec.Epochs.Len() != rec.Epochs.Len() || dec.Epochs.Nodes() != rec.Epochs.Nodes() ||
+			dec.Epochs.Interval != rec.Epochs.Interval {
+			t.Fatalf("wrap=%v: epoch geometry mismatch", wrap)
+		}
+		for e := 0; e < rec.Epochs.Len(); e++ {
+			if dec.Epochs.Time(e) != rec.Epochs.Time(e) {
+				t.Fatalf("epoch %d time mismatch", e)
+			}
+			for nd := 0; nd < 3; nd++ {
+				for p := Probe(0); p < NumProbes; p++ {
+					if dec.Epochs.Value(p, e, nd) != rec.Epochs.Value(p, e, nd) {
+						t.Fatalf("wrap=%v: value(%v,%d,%d) mismatch", wrap, p, e, nd)
+					}
+				}
+			}
+		}
+
+		// Decode -> re-encode is byte-identical: the codec is canonical.
+		again := AppendRecording(nil, dec)
+		if !bytes.Equal(blob, again) {
+			t.Fatalf("wrap=%v: re-encode differs (%d vs %d bytes)", wrap, len(blob), len(again))
+		}
+	}
+}
+
+func TestCodecEventsOnly(t *testing.T) {
+	rec := &Recording{Events: NewRecorder(16)}
+	rec.Events.Clock = 99
+	rec.Events.Emit(EvPoolLow, 1, 2, 3)
+	dec, err := DecodeRecording(AppendRecording(nil, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epochs != nil {
+		t.Fatal("events-only trace decoded phantom epochs")
+	}
+	if dec.Events.Len() != 1 || dec.Events.Events()[0].Time != 99 {
+		t.Fatalf("decoded %+v", dec.Events.Events())
+	}
+}
+
+func TestCodecEpochsOnly(t *testing.T) {
+	ep := NewEpochs(1000)
+	ep.SetNodes(1)
+	ep.Begin(1000)
+	ep.Set(ProbeThreshold, 0, 64)
+	rec := &Recording{Epochs: ep}
+	dec, err := DecodeRecording(AppendRecording(nil, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Events != nil {
+		t.Fatal("epochs-only trace decoded a phantom recorder")
+	}
+	if dec.Epochs.Value(ProbeThreshold, 0, 0) != 64 {
+		t.Fatal("epoch value lost")
+	}
+}
+
+func TestCodecNegativeDeltas(t *testing.T) {
+	// Event times are not monotonic across node quanta: a later dispatch
+	// may carry an earlier cycle. Zigzag coding must round-trip that.
+	rec := &Recording{Events: NewRecorder(8)}
+	for _, tm := range []int64{100, 40, 4000, 3999} {
+		rec.Events.Clock = tm
+		rec.Events.Emit(EvThreshold, 0, 1, 2)
+	}
+	dec, err := DecodeRecording(AppendRecording(nil, rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := dec.Events.Events()
+	for i, want := range []int64{100, 40, 4000, 3999} {
+		if evs[i].Time != want {
+			t.Fatalf("event %d time=%d want %d", i, evs[i].Time, want)
+		}
+	}
+}
+
+func TestCodecTruncationAndCorruption(t *testing.T) {
+	blob := AppendRecording(nil, sampleRecording(true))
+
+	// Every truncation of the valid trace must fail cleanly.
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeRecording(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(blob))
+		}
+	}
+	// A flipped byte fails the CRC.
+	mut := bytes.Clone(blob)
+	mut[len(mut)/2] ^= 0x40
+	if _, err := DecodeRecording(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corruption: err = %v, want ErrCorrupt", err)
+	}
+	// Garbage fails.
+	if _, err := DecodeRecording([]byte("not a trace at all, sorry")); err == nil {
+		t.Fatal("garbage decoded successfully")
+	}
+}
+
+func TestCodecFileRoundTrip(t *testing.T) {
+	rec := sampleRecording(false)
+	path := t.TempDir() + "/run.trace"
+	if err := WriteFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Events.Total() != rec.Events.Total() {
+		t.Fatalf("total %d want %d", dec.Events.Total(), rec.Events.Total())
+	}
+}
+
+// FuzzDecodeRecording drives arbitrary byte strings through the decoder:
+// it must never panic or over-allocate, and anything it accepts must
+// re-encode to exactly the accepted bytes (the codec is canonical).
+func FuzzDecodeRecording(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRecording(nil, sampleRecording(false)))
+	f.Add(AppendRecording(nil, sampleRecording(true)))
+	f.Add(AppendRecording(nil, &Recording{}))
+	blob := AppendRecording(nil, sampleRecording(true))
+	f.Add(blob[:len(blob)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeRecording(data)
+		if err != nil {
+			return
+		}
+		again := AppendRecording(nil, dec)
+		if !bytes.Equal(data, again) {
+			t.Fatalf("accepted input re-encodes differently: %d vs %d bytes", len(data), len(again))
+		}
+	})
+}

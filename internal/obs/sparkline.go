@@ -1,0 +1,63 @@
+package obs
+
+import "strings"
+
+// sparkRunes are the eight block-element levels a sparkline is built from.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a fixed-width ASCII-art trajectory, scaling the
+// series into eight block-element levels. Longer series are bucketed down to
+// width columns by averaging; shorter series render one column per sample.
+// An empty series renders as an empty string. The output depends only on
+// the values, so sparklines in inspect summaries are diff-stable.
+func Sparkline(vals []int64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	cols := bucketMeans(vals, width)
+	lo, hi := cols[0], cols[0]
+	for _, v := range cols {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range cols {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) * float64(len(sparkRunes)-1) / span)
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// bucketMeans folds vals into at most width columns, each the mean of its
+// contiguous bucket.
+func bucketMeans(vals []int64, width int) []float64 {
+	if len(vals) <= width {
+		out := make([]float64, len(vals))
+		for i, v := range vals {
+			out[i] = float64(v)
+		}
+		return out
+	}
+	out := make([]float64, width)
+	for c := 0; c < width; c++ {
+		start := c * len(vals) / width
+		end := (c + 1) * len(vals) / width
+		if end == start {
+			end = start + 1
+		}
+		var sum float64
+		for _, v := range vals[start:end] {
+			sum += float64(v)
+		}
+		out[c] = sum / float64(end-start)
+	}
+	return out
+}

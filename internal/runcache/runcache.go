@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"ascoma"
+	"ascoma/internal/obs"
 	"ascoma/internal/stats"
 )
 
@@ -138,6 +139,28 @@ func (c *Cache) Stats() Stats {
 		Sims:     c.sims.Load(),
 		Errors:   c.errs.Load(),
 	}
+}
+
+// Publish registers the cache's counters on reg as live metric functions:
+// the exposition always reflects the current counts, with no periodic
+// copying. Call once per (cache, registry) pair — re-registration panics.
+func (c *Cache) Publish(reg *obs.Registry) {
+	reg.NewCounterFunc("ascoma_runcache_mem_hits_total",
+		"Results served from the in-memory LRU.", c.memHits.Load)
+	reg.NewCounterFunc("ascoma_runcache_disk_hits_total",
+		"Results served from the on-disk layer.", c.diskHits.Load)
+	reg.NewCounterFunc("ascoma_runcache_dedups_total",
+		"Lookups that waited on an identical in-flight run.", c.dedups.Load)
+	reg.NewCounterFunc("ascoma_runcache_sims_total",
+		"Simulations actually executed.", c.sims.Load)
+	reg.NewCounterFunc("ascoma_runcache_errors_total",
+		"Failed fills (never cached).", c.errs.Load)
+	reg.NewGaugeFunc("ascoma_runcache_hit_ratio",
+		"Fraction of lookups that avoided a fresh simulation.",
+		func() float64 { return c.Stats().HitRate() })
+	reg.NewGaugeFunc("ascoma_runcache_resident",
+		"Results resident in the in-memory LRU.",
+		func() float64 { return float64(c.Len()) })
 }
 
 // Len returns the number of results resident in memory.

@@ -55,7 +55,11 @@ func (r *Runner) Run(ctx context.Context, cfg ascoma.Config) (*ascoma.Result, er
 		defer r.inflight.Add(-1)
 		return ascoma.RunContext(ctx, cfg)
 	}
-	if r.Cache == nil {
+	if r.Cache == nil || cfg.Obs != nil {
+		// An observed run must actually simulate: a cache hit would skip
+		// the machine entirely and leave the caller's Recording empty (and
+		// Config.Obs carries `json:"-"`, so the recording could otherwise
+		// collide with an unobserved run's key).
 		return sim(ctx)
 	}
 	key, err := KeyOf(cfg)

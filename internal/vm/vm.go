@@ -13,6 +13,7 @@ import (
 
 	"ascoma/internal/addr"
 	"ascoma/internal/dense"
+	"ascoma/internal/obs"
 	"ascoma/internal/params"
 )
 
@@ -128,6 +129,13 @@ type VM struct {
 	pt      dense.Table[PTE]
 	ring    []*PTE // S-COMA pages, scanned by the clock hand
 	hand    int
+
+	// rec is the attached flight recorder (nil = observability off). The
+	// machine stamps its clock before every kernel-path call, so pool
+	// events emitted here carry the current simulated cycle. poolLow is
+	// the hysteresis state for EvPoolLow/EvPoolOK edges.
+	rec     *obs.Recorder
+	poolLow bool
 }
 
 // New builds a node VM with the given physical page count and thresholds
@@ -169,6 +177,31 @@ func (v *VM) Reset(totalPages, freeMinPct, freeTargetPct int) {
 	v.pt.Reset()
 	v.ring = v.ring[:0]
 	v.hand = 0
+	v.poolLow = false
+}
+
+// SetRecorder attaches a flight recorder for free-pool pressure events
+// (nil detaches) and resets the pool-low hysteresis.
+func (v *VM) SetRecorder(r *obs.Recorder) {
+	v.rec = r
+	v.poolLow = false
+}
+
+// notePool emits pool-pressure edges with hysteresis: one EvPoolLow when
+// the pool first drops below free_min, one EvPoolOK once it recovers to
+// free_target — the same thresholds that gate the pageout daemon, so the
+// two events bracket exactly the windows the daemon is fighting pressure.
+func (v *VM) notePool() {
+	if v.rec == nil {
+		return
+	}
+	if !v.poolLow && v.free < v.freeMin {
+		v.poolLow = true
+		v.rec.Emit(obs.EvPoolLow, v.Node, uint32(v.free), uint32(v.freeMin))
+	} else if v.poolLow && v.free >= v.freeTarget {
+		v.poolLow = false
+		v.rec.Emit(obs.EvPoolOK, v.Node, uint32(v.free), uint32(v.freeTarget))
+	}
 }
 
 // ReserveHome pins n pages for home/private data, removing them from the
@@ -180,6 +213,7 @@ func (v *VM) ReserveHome(n int) error {
 	}
 	v.HomePages += n
 	v.free -= n
+	v.notePool()
 	return nil
 }
 
@@ -240,6 +274,7 @@ func (v *VM) MapSCOMA(p addr.Page, home int) *PTE {
 	v.free--
 	pte := v.install(p, ModeSCOMA, home)
 	v.enroll(pte)
+	v.notePool()
 	return pte
 }
 
@@ -259,6 +294,7 @@ func (v *VM) Upgrade(pte *PTE) bool {
 	pte.SComaHits = 0
 	pte.RefBit = true
 	v.enroll(pte)
+	v.notePool()
 	return true
 }
 
@@ -275,6 +311,7 @@ func (v *VM) Downgrade(pte *PTE) {
 	pte.Owned = 0
 	pte.SComaHits = 0
 	v.free++
+	v.notePool()
 }
 
 // AdoptHomePage pins one free page to hold a newly migrated-in home page.
@@ -285,6 +322,7 @@ func (v *VM) AdoptHomePage() bool {
 	}
 	v.free--
 	v.HomePages++
+	v.notePool()
 	return true
 }
 
@@ -293,6 +331,7 @@ func (v *VM) AdoptHomePage() bool {
 func (v *VM) ReleaseHomePage() {
 	v.HomePages--
 	v.free++
+	v.notePool()
 }
 
 // Unmap removes the page's mapping entirely, so the next access faults
