@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke trace-check
+.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke trace-check parallel-check
 
 all: build
 
@@ -36,6 +36,17 @@ trace-check:
 	cmp .bin/trace-a .bin/trace-b
 	.bin/ascoma-inspect summary .bin/trace-a >/dev/null
 
+# parallel-check proves the parallel core's exactness end to end through
+# the real binary: the same observed run at -cores 1 and -cores 4 must
+# produce byte-identical trace files — same events, same order, same
+# cycle stamps (see DESIGN.md §11 and TestParallelGoldenIdentity for the
+# in-process counterparts).
+parallel-check:
+	$(GO) build -o .bin/ascoma-sim ./cmd/ascoma-sim
+	.bin/ascoma-sim -arch ascoma -workload radix -pressure 70 -scale 16 -cores 1 -trace .bin/trace-seq -epoch 5000 >/dev/null
+	.bin/ascoma-sim -arch ascoma -workload radix -pressure 70 -scale 16 -cores 4 -trace .bin/trace-par -epoch 5000 >/dev/null
+	cmp .bin/trace-seq .bin/trace-par
+
 # verify is the pre-commit gate: vet (stock + ascoma-vet), build, the full
 # test suite (including the golden determinism test), a short race-detector
 # smoke over the internal packages, the trace-determinism check, and the
@@ -45,6 +56,7 @@ verify: vet
 	$(GO) test ./...
 	$(GO) test -race -short ./internal/...
 	$(MAKE) trace-check
+	$(MAKE) parallel-check
 	$(GO) run ./cmd/ascoma-serve -smoke
 
 # bench runs the full tracked benchmark set (BENCH_PR*.json) with the exact
@@ -53,6 +65,7 @@ verify: vet
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig2FFT$$|BenchmarkHotPath$$|BenchmarkGridRow$$' -benchtime 3x -count 3 .
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamGeneration$$' -count 3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelScaling|BenchmarkParallelMissBound$$' -benchtime 10x -count 3 .
 
 race:
 	$(GO) test -race ./...

@@ -85,6 +85,13 @@ type Config struct {
 	Params Params
 	// MaxCycles aborts runs exceeding this simulated time (0 = no limit).
 	MaxCycles int64
+	// Quantum is the number of cycles one node advances before the event
+	// loop switches to the next (0 = the 100-cycle default). A coarser
+	// quantum trades timeslicing fidelity for host speed — fewer scheduling
+	// events per simulated cycle — and deepens the parallel core's
+	// lookahead segments (see Cores). Unlike Cores it changes simulated
+	// results, so it participates in the content-addressed cache key.
+	Quantum int64
 	// Ablation, with Arch == ASCOMA, disables one of AS-COMA's two
 	// improvements to measure its contribution in isolation (the paper's
 	// Section 5.1 / 5.2 decomposition).
@@ -100,6 +107,15 @@ type Config struct {
 	// without one, and runcache bypasses the cache when it is set so the
 	// simulation actually executes and fills it.
 	Obs *Recording `json:"-"`
+	// Cores is the number of worker threads driving the event loop within
+	// this single run (values < 2 = the sequential loop). Results are
+	// bit-identical at every core count — the parallel core precomputes
+	// only provably node-local work and commits it in the sequential
+	// dispatch order (see internal/machine/parallel.go) — so, like Obs,
+	// the field is excluded from the content-addressed cache key: a
+	// parallel and a sequential run of the same config share one cache
+	// entry.
+	Cores int `json:"-"`
 }
 
 // Recording re-exports the observability container (see internal/obs): a
@@ -178,8 +194,10 @@ func RunGeneratorContext(ctx context.Context, cfg Config, gen workload.Generator
 		Pressure:       cfg.Pressure,
 		Params:         cfg.Params,
 		MaxCycles:      cfg.MaxCycles,
+		Quantum:        cfg.Quantum,
 		SampleInterval: cfg.SampleInterval,
 		Obs:            cfg.Obs,
+		Cores:          cfg.Cores,
 	}
 	if cfg.Ablation != AblationNone {
 		if cfg.Arch != ASCOMA {

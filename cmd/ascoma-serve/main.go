@@ -55,6 +55,7 @@ var (
 	cacheDir   = flag.String("cachedir", "", "persist simulation results in this directory")
 	cacheSize  = flag.Int("cachesize", 1024, "in-memory result cache entries")
 	jobs       = flag.Int("jobs", runtime.NumCPU(), "maximum concurrent simulations")
+	cores      = flag.Int("cores", 1, "worker threads inside each simulation (results are bit-identical at any count)")
 	reqTimeout = flag.Duration("timeout", 5*time.Minute, "per-request simulation timeout")
 	drainWait  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
 	smoke      = flag.Bool("smoke", false, "self-test: serve on a random port, probe the endpoints, drain, exit")
@@ -68,6 +69,7 @@ type server struct {
 	runner  *runcache.Runner
 	cache   *runcache.Cache
 	timeout time.Duration
+	cores   int
 
 	reg        *obs.Registry
 	archRuns   *obs.CounterVec // completed requests by architecture (+ "figure")
@@ -75,13 +77,14 @@ type server struct {
 	runSeconds *obs.Histogram  // request latency distribution
 }
 
-func newServer(cache *runcache.Cache, jobs int, timeout time.Duration) *server {
+func newServer(cache *runcache.Cache, jobs, cores int, timeout time.Duration) *server {
 	runner := &runcache.Runner{Cache: cache, Jobs: jobs}
 	reg := obs.NewRegistry()
 	s := &server{
 		runner:  runner,
 		cache:   cache,
 		timeout: timeout,
+		cores:   cores,
 		reg:     reg,
 		archRuns: reg.NewCounterVec("ascoma_requests_total",
 			"Completed simulation requests by architecture (figure renders count as \"figure\").", "arch"),
@@ -177,6 +180,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Scale:          req.Scale,
 		MaxCycles:      req.MaxCycles,
 		SampleInterval: req.SampleInterval,
+		Cores:          s.cores,
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
@@ -210,7 +214,7 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	opts := report.Options{Runner: s.runner}
+	opts := report.Options{Runner: s.runner, Cores: s.cores}
 	switch format := q.Get("format"); format {
 	case "", "table", "csv", "chart":
 		opts.Format = format
@@ -270,7 +274,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := newServer(cache, *jobs, *reqTimeout)
+	s := newServer(cache, *jobs, *cores, *reqTimeout)
 
 	if *smoke {
 		if err := runSmoke(s); err != nil {

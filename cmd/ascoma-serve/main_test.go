@@ -18,7 +18,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(cache, 4, time.Minute)
+	s := newServer(cache, 4, 1, time.Minute)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -210,7 +210,7 @@ func TestSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runSmoke(newServer(cache, 4, time.Minute)); err != nil {
+	if err := runSmoke(newServer(cache, 4, 1, time.Minute)); err != nil {
 		t.Fatal(err)
 	}
 }

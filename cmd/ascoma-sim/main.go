@@ -30,6 +30,8 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	trace := flag.String("trace", "", "record a flight-recorder trace to this file (inspect with ascoma-inspect)")
 	epoch := flag.Int64("epoch", 0, "with -trace, sample per-node epoch probes every N cycles (0 = events only)")
+	cores := flag.Int("cores", 1, "worker threads inside the run (results are bit-identical at any count)")
+	quantum := flag.Int64("quantum", 0, "cycles per node timeslice (0 = the 100-cycle default; changes simulated results)")
 	flag.Parse()
 
 	a, err := ascoma.ParseArch(*arch)
@@ -54,7 +56,9 @@ func main() {
 		Workload: *wl,
 		Pressure: *pressure,
 		Scale:    *scale,
+		Quantum:  *quantum,
 		Obs:      rec,
+		Cores:    *cores,
 	})
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, perr)

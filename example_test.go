@@ -54,6 +54,7 @@ func ExampleWorkloads() {
 	// mismatch
 	// ocean
 	// radix
+	// resident
 	// stream
 	// uniform
 }

@@ -44,6 +44,7 @@ var DeterministicPackages = []string{
 	"ascoma/internal/workload",
 	"ascoma/internal/stats",
 	"ascoma/internal/obs",
+	"ascoma/internal/par",
 }
 
 // Analyzer is the nondet analysis.
@@ -57,10 +58,10 @@ var Analyzer = &analysis.Analyzer{
 // randConstructors are the math/rand functions that build an explicitly
 // seeded generator rather than drawing from the package-global one.
 var randConstructors = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true, // math/rand/v2
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
 	"NewChaCha8": true, // math/rand/v2
 }
 

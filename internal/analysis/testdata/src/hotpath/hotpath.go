@@ -42,6 +42,37 @@ func push(buf []event, e event) []event {
 	return append(buf, e)
 }
 
+type scanSeg struct {
+	cycles int64
+	hits   int64
+}
+
+// commitScan stands in for the parallel core's worker merge path: the
+// commit loop applies a worker's staged segments to the live totals once
+// per quantum, so it must not allocate.
+//
+//ascoma:hotpath
+func commitScan(totals *scanSeg, segs []scanSeg, log []int64) []int64 {
+	for i := range segs {
+		totals.cycles += segs[i].cycles
+		totals.hits += segs[i].hits
+		log = append(log, segs[i].cycles) // want `append may grow and allocate`
+	}
+	return log
+}
+
+// stageScan is the correct shape: workers stage into a fixed-size array
+// owned by the entry, so the merge is pure arithmetic on preallocated
+// storage.
+//
+//ascoma:hotpath
+func stageScan(totals *scanSeg, segs *[32]scanSeg, n int) {
+	for i := 0; i < n; i++ {
+		totals.cycles += segs[i].cycles
+		totals.hits += segs[i].hits
+	}
+}
+
 // cold is unannotated: allocation is unconstrained here.
 func cold(n int) []event {
 	out := make([]event, 0, n)

@@ -13,7 +13,7 @@ import (
 type Config struct{ Seed int64 }
 
 func clockReads() int64 {
-	t := time.Now() // want `call to time\.Now in a deterministic package`
+	t := time.Now()    // want `call to time\.Now in a deterministic package`
 	d := time.Since(t) // want `call to time\.Since`
 	return int64(d)
 }
@@ -59,6 +59,38 @@ func mapOrderBareHatch(m map[string]int64) int64 {
 		total += v
 	}
 	return total
+}
+
+// scanResult stands in for one worker's lookahead scan output in the
+// parallel core: per-node deltas that the commit goroutine merges into the
+// global statistics in node order.
+type scanResult struct {
+	node   int
+	cycles int64
+	hits   int64
+}
+
+// mergeByMap is the worker merge path done wrong: collecting per-worker
+// results into a map and folding them in iteration order. Even though the
+// sums commute, the temptation generalizes to non-commutative merges (last
+// write wins, first error reported), so the analyzer flags the range
+// itself.
+func mergeByMap(results map[int]scanResult) (cycles int64) {
+	for _, r := range results { // want `map iteration order is randomized`
+		cycles += r.cycles
+	}
+	return cycles
+}
+
+// mergeByNode is the required shape: results land in a slice indexed by
+// node id and the commit loop walks it in ascending node order, so the
+// merge is identical no matter which worker produced which entry.
+func mergeByNode(results []scanResult) (cycles, hits int64) {
+	for _, r := range results { // slice order == node order: ok
+		cycles += r.cycles
+		hits += r.hits
+	}
+	return cycles, hits
 }
 
 func sliceOrder(s []string) []string {

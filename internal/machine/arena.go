@@ -96,6 +96,7 @@ func (m *Machine) recycle(sh shape, p *params.Params) {
 		nd.dir.Reset()
 		nd.blocked = 0
 		nd.arriveTime = 0
+		nd.invGen = 0
 	}
 	m.dir.Reset(sh.homeLimit, p.RefetchThreshold)
 	m.q.Reset()
@@ -134,6 +135,10 @@ func (m *Machine) Release() {
 	}
 	m.gen = nil
 	m.net = nil
+	// The parallel core is torn down when RunContext's parallel branch
+	// exits; drop the pointer so a pooled machine can never observe a
+	// previous run's core.
+	m.par = nil
 	m.st = nil
 	m.samples = nil
 	m.checker = nil

@@ -1,0 +1,189 @@
+// Package par provides the deterministic work queue under the machine's
+// parallel simulation core (see internal/machine/parallel.go and DESIGN.md
+// §11).
+//
+// The queue answers one scheduling question — "run task(i) for every
+// submitted i, on up to `workers` OS threads, overlapped with the
+// submitter's own work" — with the properties the simulator demands:
+//
+//   - Work distribution carries no information into results. Items are
+//     claimed from a single atomic cursor, so *which* worker runs which
+//     item is racy by construction; the contract (enforced by this
+//     package's membership in the nondet analyzer's deterministic set) is
+//     that tasks write only item-owned state behind an atomic
+//     publish/consume handoff, making every schedule observationally
+//     identical. Determinism comes from what the tasks compute, never from
+//     how they were scheduled.
+//   - The submitter participates: Help lets the submitting goroutine claim
+//     and run one pending task while it waits for a specific result, so a
+//     queue with zero helpers degenerates to inline execution and a busy
+//     submitter never idles behind a slow helper.
+//   - Handoff is cheap. Submissions arrive microseconds apart, and a futex
+//     sleep/wake per item costs more than the item's work, so helpers spin
+//     on the publish cursor while work is coming hot (yielding to the
+//     scheduler between checks) and park on a channel only after a long
+//     idle stretch. Parking can delay one item's start by a wakeup, never
+//     lose it: a helper re-checks the cursor after registering as parked,
+//     and Submit wakes a registered parker.
+//
+// No wall clock, no map iteration, no randomness.
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Spin thresholds: a helper polls the publish cursor hotSpins times back to
+// back, then yieldSpins times with a scheduler yield between checks, and
+// then parks until the next submission. The yield phase covers submission
+// gaps up to roughly a millisecond — long enough that a draining commit
+// phase never parks its helpers, short enough that an idle helper does not
+// monopolize a core.
+const (
+	hotSpins   = 128
+	yieldSpins = 4096
+)
+
+// queueCap bounds pending submissions; it must exceed the maximum number of
+// in-flight items (the machine arms at most one scan per node, and the
+// simulator models at most 64 nodes). Power of two for mask indexing.
+const queueCap = 128
+
+// Queue is a single-producer, multi-consumer work queue bound to one task
+// function. The zero value is not usable; construct with NewQueue and
+// release with Close. Submit, Help, and Quiesce are for the exclusive use
+// of one producing goroutine.
+type Queue struct {
+	task    func(int)
+	helpers int
+
+	buf       [queueCap]int32
+	submitted atomic.Int64 // producer publish cursor (items written: buf[:submitted])
+	claimed   atomic.Int64 // consumer claim cursor
+	completed atomic.Int64 // finished tasks
+	parked    atomic.Int32 // helpers registered as parked
+	stop      atomic.Bool
+	wake      chan struct{} // capacity == helpers; stale tokens drain harmlessly
+}
+
+// NewQueue returns a queue of `workers` total workers — workers-1 spawned
+// helper goroutines plus the producing goroutine itself, which contributes
+// through Help. workers < 1 is treated as 1 (no helpers: every task runs
+// via Help).
+func NewQueue(workers int, task func(int)) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	q := &Queue{task: task, helpers: workers - 1}
+	q.wake = make(chan struct{}, q.helpers)
+	for i := 0; i < q.helpers; i++ {
+		go q.loop()
+	}
+	return q
+}
+
+// Submit publishes one item. The producer must not submit more than
+// queueCap items ahead of completion (the machine's one-scan-per-node
+// arming discipline guarantees a far smaller bound).
+//
+//ascoma:hotpath
+func (q *Queue) Submit(item int) {
+	s := q.submitted.Load()
+	q.buf[s&(queueCap-1)] = int32(item)
+	q.submitted.Store(s + 1) // release: the buf write above is visible to claimers
+	if q.parked.Load() > 0 {
+		select {
+		case q.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// claim takes one pending item; ok is false when none are pending.
+//
+//ascoma:hotpath
+func (q *Queue) claim() (int, bool) {
+	for {
+		c := q.claimed.Load()
+		if c >= q.submitted.Load() {
+			return 0, false
+		}
+		if q.claimed.CompareAndSwap(c, c+1) {
+			return int(q.buf[c&(queueCap-1)]), true
+		}
+	}
+}
+
+// Help claims and runs one pending task on the calling goroutine,
+// reporting whether there was one. The producer calls it in a loop while
+// waiting for a specific item's result, so the wait contributes compute
+// instead of idling.
+//
+//ascoma:hotpath
+func (q *Queue) Help() bool {
+	i, ok := q.claim()
+	if !ok {
+		return false
+	}
+	q.task(i)
+	q.completed.Add(1)
+	return true
+}
+
+// Quiesce runs and/or waits until every submitted task has completed.
+// After it returns (and until the next Submit) no helper is touching any
+// task's state.
+func (q *Queue) Quiesce() {
+	for q.completed.Load() < q.submitted.Load() {
+		if !q.Help() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Workers returns the total worker count (helpers plus the producer).
+func (q *Queue) Workers() int { return q.helpers + 1 }
+
+// loop runs one helper: spin for work, run it, park after a long idle.
+func (q *Queue) loop() {
+	spins := 0
+	for {
+		if q.Help() {
+			spins = 0
+			continue
+		}
+		if q.stop.Load() {
+			return
+		}
+		spins++
+		if spins <= hotSpins {
+			continue
+		}
+		if spins <= yieldSpins {
+			runtime.Gosched()
+			continue
+		}
+		// Park. Register first, then re-check: Submit publishes before
+		// reading the parked count, so either this helper sees the pending
+		// item here, or Submit sees the registration and sends a token.
+		q.parked.Add(1)
+		if q.claimed.Load() >= q.submitted.Load() && !q.stop.Load() {
+			<-q.wake
+		}
+		q.parked.Add(-1)
+		spins = 0
+	}
+}
+
+// Close terminates the helper goroutines. The producer must Quiesce first
+// and must not use the queue afterwards.
+func (q *Queue) Close() {
+	q.stop.Store(true)
+	for i := 0; i < q.helpers; i++ {
+		select {
+		case q.wake <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -19,6 +19,7 @@ func (s *Synthetic) nodeProgram(i int) *Program {
 }
 func (m *Mismatch) nodeProgram(i int) *Program { return m.progs[i] }
 func (c *CritSec) nodeProgram(i int) *Program  { return c.progs[i] }
+func (r *Resident) nodeProgram(i int) *Program { return r.progs[i] }
 
 // TestCompiledMatchesInterpreted drains the compiled stream and the
 // interpreted reference implementation over every node program of every

@@ -240,6 +240,92 @@ func (m *Mismatch) Place(place func(p addr.Page, home int)) {
 // Stream returns node i's reference stream.
 func (m *Mismatch) Stream(node int) Stream { return m.progs[node].Stream() }
 
+// Resident models the compute phase of a cache-blocked application: each
+// node repeatedly sweeps a small private tile that stays resident in its L1
+// (a blocked matrix panel, a per-thread hash table), reads a neighbor's
+// shared page between sweeps, and synchronizes at a barrier every few
+// phases. The paper's six applications are measured in their
+// communication-heavy phases, so none of the existing generators exercises
+// the opposite regime — the L1-hit-dominated stretches where an
+// execution-driven simulator spends its host time in reference
+// interpretation rather than event processing. That regime is exactly what
+// the parallel simulation core's epoch-window lookahead accelerates (see
+// internal/machine/parallel.go), making this the scaling benchmark's
+// workload; it also pins down the fast-forward path's statistics under a
+// near-100% hit rate.
+type Resident struct {
+	nodes  int
+	pages  int // shared section pages per node
+	iters  int
+	passes int // tile sweeps per compute phase
+	tile   int // resident tile bytes (must fit the L1 alongside the refresh lines)
+	layout []addr.GVA
+	progs  []*Program
+}
+
+// NewResident builds the generator at the given scale divisor on the
+// paper's 16-node machine.
+func NewResident(scale int) Generator { return NewResidentN(16, scale) }
+
+// NewResidentN is NewResident with an explicit node count, for host-core
+// scaling studies.
+func NewResidentN(nodes, scale int) Generator {
+	r := &Resident{
+		nodes:  nodes,
+		pages:  4,
+		iters:  scaled(64, scale, 8),
+		passes: 16,
+		tile:   4 * 1024,
+	}
+	l := NewLayout()
+	r.layout = l.Distributed(r.nodes, r.pages)
+	r.progs = make([]*Program, r.nodes)
+	for n := 0; n < r.nodes; n++ {
+		pr := &Program{}
+		r.progs[n] = pr
+		for it := 0; it < r.iters; it++ {
+			if it%16 == 0 {
+				// Superphase boundary: exchange with the neighbor, then
+				// compute. Communication misses cluster here — between
+				// boundaries the tile re-establishes residency and the
+				// compute phases run at an essentially pure hit rate, the
+				// regime this generator exists to model.
+				pr.Walk(r.layout[(n+1)%r.nodes], params.PageSize, params.BlockSize, 1, Read, 2)
+			}
+			// Compute phase: read-modify-write sweeps over the resident
+			// tile. Line i sees the same operation every pass, so after the
+			// first phase's cold fills every reference hits.
+			pr.WalkRW(addr.PrivateRegion(n), int64(r.tile), params.LineSize, int64(r.passes), 4, 2)
+			if it%16 == 15 {
+				pr.Barrier(it / 16)
+			}
+		}
+	}
+	return r
+}
+
+// Name returns "resident".
+func (r *Resident) Name() string { return "resident" }
+
+// Nodes returns the node count.
+func (r *Resident) Nodes() int { return r.nodes }
+
+// HomePagesPerNode returns the per-node shared footprint.
+func (r *Resident) HomePagesPerNode() int { return r.pages }
+
+// PrivatePagesPerNode returns the pages backing the resident tile.
+func (r *Resident) PrivatePagesPerNode() int { return 2 }
+
+// Place homes section i at node i.
+func (r *Resident) Place(place func(p addr.Page, home int)) {
+	for i, base := range r.layout {
+		PlacePages(place, base, r.pages, i)
+	}
+}
+
+// Stream returns node i's reference stream.
+func (r *Resident) Stream(node int) Stream { return r.progs[node].Stream() }
+
 // CritSec models a lock-bound workload: every node repeatedly enters a
 // global critical section to update a shared structure (think a central
 // work queue), then does independent work. Synchronization (the paper's
@@ -308,4 +394,5 @@ func init() {
 	Register("stream", NewStream)
 	Register("mismatch", NewMismatch)
 	Register("critsec", NewCritSec)
+	Register("resident", NewResident)
 }

@@ -10,7 +10,7 @@ import (
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	want := []string{"barnes", "critsec", "em3d", "fft", "hotcold", "lu", "mismatch", "ocean", "radix", "stream", "uniform"}
+	want := []string{"barnes", "critsec", "em3d", "fft", "hotcold", "lu", "mismatch", "ocean", "radix", "resident", "stream", "uniform"}
 	if len(names) != len(want) {
 		t.Fatalf("Names = %v, want %v", names, want)
 	}

@@ -1,0 +1,108 @@
+package ascoma
+
+// The parallel simulation core (internal/machine/parallel.go, DESIGN.md
+// §11) promises exactness, not approximate speedup: a run at any -cores
+// value must be bit-identical to the sequential run — same event order,
+// same statistics, same traces. These tests pin that promise against the
+// same golden matrix that pins sequential determinism, so the parallel
+// path can never drift behind the sequential one unnoticed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"ascoma/internal/obs"
+)
+
+// TestParallelGoldenIdentity runs the full 72-config golden matrix at
+// cores 1, 2, and 4 and checks every checksum against the pinned
+// sequential values in testdata/golden_stats.json. cores=1 through the
+// Config knob must take the sequential path exactly; cores>1 must commit
+// the identical event order through the lookahead pipeline.
+func TestParallelGoldenIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix skipped in -short mode")
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run TestGoldenDeterminism -update-golden to create): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range goldenConfigs() {
+		key := goldenKey(cfg)
+		pinned, ok := want[key]
+		if !ok {
+			t.Fatalf("%s missing from golden file", key)
+		}
+		for _, cores := range []int{1, 2, 4} {
+			cfg.Cores = cores
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s cores=%d: %v", key, cores, err)
+			}
+			if got := statsChecksum(t, res); got != pinned {
+				t.Errorf("%s cores=%d: checksum %s != sequential golden %s", key, cores, got, pinned)
+			}
+		}
+	}
+}
+
+// TestParallelIdentityShort is the -short slice of the identity matrix, so
+// `go test -race -short ./...` always drives the parallel machinery — the
+// fast-forward-heavy resident workload (arming succeeds almost every
+// quantum) and a miss-bound paper config (arming mostly fails, stressing
+// the stale-capture reconciliation path).
+func TestParallelIdentityShort(t *testing.T) {
+	cfgs := []Config{
+		{Arch: ASCOMA, Workload: "resident", Pressure: 30, Scale: 1, Quantum: 1000},
+		{Arch: ASCOMA, Workload: "ocean", Pressure: 70, Scale: 16},
+		{Arch: MIGNUMA, Workload: "radix", Pressure: 70, Scale: 16},
+	}
+	for _, cfg := range cfgs {
+		seq, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", cfg.Workload, cfg.Arch, err)
+		}
+		cfg.Cores = 4
+		par, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s/%v cores=4: %v", cfg.Workload, cfg.Arch, err)
+		}
+		if s, p := statsChecksum(t, seq), statsChecksum(t, par); s != p {
+			t.Errorf("%s/%v: parallel checksum %s != sequential %s", cfg.Workload, cfg.Arch, p, s)
+		}
+		if seq.ExecTime != par.ExecTime {
+			t.Errorf("%s/%v: exec %d != %d", cfg.Workload, cfg.Arch, par.ExecTime, seq.ExecTime)
+		}
+	}
+}
+
+// TestParallelTraceDeterminism pins the strongest observable property: a
+// flight-recorder trace — every event, in order, with its cycle stamp —
+// encodes byte-identically whether the run was sequential or parallel.
+// Any reordering the lookahead pipeline introduced would change the blob
+// even if the aggregate statistics happened to collide.
+func TestParallelTraceDeterminism(t *testing.T) {
+	for _, arch := range []Arch{ASCOMA, MIGNUMA} {
+		cfg := Config{Arch: arch, Workload: "radix", Pressure: 70, Scale: 16}
+		var blobs [][]byte
+		for _, cores := range []int{1, 4} {
+			rec := NewRecording(1<<12, 5000)
+			cfg.Obs = rec
+			cfg.Cores = cores
+			if _, err := Run(cfg); err != nil {
+				t.Fatalf("%v cores=%d: %v", arch, cores, err)
+			}
+			blobs = append(blobs, obs.AppendRecording(nil, rec))
+		}
+		if !bytes.Equal(blobs[0], blobs[1]) {
+			t.Errorf("%v: parallel run encoded a different trace (%d vs %d bytes)",
+				arch, len(blobs[0]), len(blobs[1]))
+		}
+	}
+}

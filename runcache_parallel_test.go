@@ -1,0 +1,79 @@
+package ascoma_test
+
+// The -cores knob must be invisible to the result cache: Config.Cores is
+// excluded from the cache key (results are bit-identical at any core
+// count), so a result simulated in parallel is a valid cache hit for a
+// sequential request and vice versa. These tests pin both halves of that
+// contract — key equality, and byte-identical recalled payloads.
+
+import (
+	"context"
+	"testing"
+
+	"ascoma"
+	"ascoma/internal/runcache"
+)
+
+func TestParallelRunSharesCacheKey(t *testing.T) {
+	base := ascoma.Config{Arch: ascoma.ASCOMA, Workload: "fft", Pressure: 70, Scale: 8}
+	seqKey, err := runcache.KeyOf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{2, 4, 8} {
+		cfg := base
+		cfg.Cores = cores
+		key, err := runcache.KeyOf(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != seqKey {
+			t.Fatalf("cores=%d changes the cache key: %q != %q", cores, key, seqKey)
+		}
+	}
+}
+
+func TestParallelRunCachedPayloadIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ascoma.Config{Arch: ascoma.ASCOMA, Workload: "ocean", Pressure: 70, Scale: 16, Cores: 4}
+
+	// Simulate in parallel and persist through the cache's disk layer.
+	warm, err := runcache.New(16, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&runcache.Runner{Cache: warm}).Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A cold cache over the same directory, asked for the sequential
+	// flavour of the same config, must answer from disk without
+	// simulating — and the recalled statistics must hash identically to
+	// both the parallel run that produced them and a from-scratch
+	// sequential run.
+	seq := cfg
+	seq.Cores = 1
+	cold, err := runcache.New(16, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recalled, err := (&runcache.Runner{Cache: cold}).Run(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.DiskHits != 1 || st.Sims != 0 {
+		t.Fatalf("sequential request missed the parallel run's cache entry: %+v", st)
+	}
+	if got, want := goldenChecksum(t, recalled), goldenChecksum(t, parallel); got != want {
+		t.Fatalf("recalled checksum %s != parallel checksum %s", got, want)
+	}
+
+	fresh, err := ascoma.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := goldenChecksum(t, fresh), goldenChecksum(t, parallel); got != want {
+		t.Fatalf("sequential checksum %s != parallel checksum %s", got, want)
+	}
+}
