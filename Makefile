@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke trace-check parallel-check
+.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke trace-check parallel-check e2e
 
 all: build
 
@@ -11,10 +11,18 @@ test:
 	$(GO) test ./...
 
 # serve-smoke builds ascoma-serve, starts it on an ephemeral port, hits
-# /healthz and a figure endpoint twice (the second render must be a pure
-# cache hit), and drains gracefully.
+# /healthz, a figure endpoint twice (the second render must be a pure
+# cache hit), and the async job API, and drains gracefully.
 serve-smoke:
 	$(GO) run ./cmd/ascoma-serve -smoke
+
+# e2e drives an in-process multi-worker farm (e2e/harness) end to end:
+# a grid job submitted to worker A renders as a figure on worker B with
+# zero new simulations (peer-shared cache, then shared-disk), plus a load
+# test pushing hundreds of concurrent jobs through two peered workers and
+# asserting the measured /metrics hit rate.
+e2e:
+	$(GO) test -count=1 -v ./e2e/
 
 # vet runs the stock go vet suite plus the repo's own analyzers
 # (cmd/ascoma-vet: nondet, hotpath, statsintegrity, ctxflow) through the

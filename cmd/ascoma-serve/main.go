@@ -1,59 +1,54 @@
 // Command ascoma-serve exposes the simulator as an HTTP service backed by
-// the shared run-orchestration layer: a bounded worker pool, a
-// content-addressed result cache (optionally persisted with -cachedir),
-// per-request timeouts, and graceful drain on SIGTERM/SIGINT.
+// the shared run-orchestration layer: a bounded worker pool, a tiered
+// content-addressed result cache (memory LRU, optional -cachedir disk
+// layer, optional -peers HTTP workers sharing the store), per-request
+// timeouts, an async job farm, and graceful drain on SIGTERM/SIGINT.
 //
 // Endpoints:
 //
-//	POST /api/v1/run          {"arch":"AS-COMA","workload":"radix","pressure":70,"scale":8}
-//	GET  /api/v1/figure/{app} ?format=table|csv|chart&pressures=10,90&scale=8
-//	GET  /healthz
-//	GET  /metrics             Prometheus text exposition: request counts and
-//	                          latency, in-flight runs, run-cache hit counters
-//	GET  /debug/vars          expvar shim over the same metrics (legacy consumers)
-//	GET  /debug/pprof/...     live profiling; only registered with -pprof
+//	POST   /api/v1/run             {"arch":"AS-COMA","workload":"radix","pressure":70,"scale":8}
+//	GET    /api/v1/figure/{app}    ?format=table|csv|chart&pressures=10,90&scale=8
+//	POST   /api/v1/jobs            {"run":{...}} | {"grid":{...}} | {"figure":{...}} -> 202 + job id
+//	GET    /api/v1/jobs/{id}       poll status/result
+//	GET    /api/v1/jobs/{id}/events  NDJSON stream: cell completions, epoch probes, terminal state
+//	DELETE /api/v1/jobs/{id}       cancel
+//	GET    /cache/v1/{key}         peer protocol: serve this worker's cached results
+//	GET    /healthz
+//	GET    /metrics                Prometheus text exposition
+//	GET    /debug/vars             per-server expvar shim (legacy consumers)
+//	GET    /debug/pprof/...        live profiling; only registered with -pprof
 //
-// Identical concurrent requests collapse onto one simulation
-// (singleflight), and repeated requests are served from the cache.
+// Identical concurrent requests collapse onto one simulation — including
+// across workers: a request for a key a peer is already simulating waits
+// for that peer's fill through the /cache/v1 protocol.
 //
 //	ascoma-serve -addr :8372 -cachedir /var/cache/ascoma -jobs 8
-//	ascoma-serve -pprof      # expose net/http/pprof for live CPU/heap profiles
-//	ascoma-serve -smoke      # self-test: start, probe, drain, exit
+//	ascoma-serve -peers http://10.0.0.7:8372,http://10.0.0.8:8372
+//	ascoma-serve -smoke      # self-test: start, probe every surface, drain, exit
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
-	"expvar"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
-	"slices"
-	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
-	"ascoma"
-	"ascoma/internal/obs"
-	"ascoma/internal/report"
 	"ascoma/internal/runcache"
-	"ascoma/internal/stats"
+	"ascoma/internal/serve"
 )
 
 var (
 	addr       = flag.String("addr", "127.0.0.1:8372", "listen address")
 	cacheDir   = flag.String("cachedir", "", "persist simulation results in this directory")
 	cacheSize  = flag.Int("cachesize", 1024, "in-memory result cache entries")
+	peers      = flag.String("peers", "", "comma-separated base URLs of peer workers sharing the result store")
 	jobs       = flag.Int("jobs", runtime.NumCPU(), "maximum concurrent simulations")
 	cores      = flag.Int("cores", 1, "worker threads inside each simulation (results are bit-identical at any count)")
 	reqTimeout = flag.Duration("timeout", 5*time.Minute, "per-request simulation timeout")
@@ -62,222 +57,40 @@ var (
 	pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints leak runtime detail)")
 )
 
-// server holds the orchestration layer and the request-level metrics. The
-// metrics live on an obs.Registry (served at /metrics in Prometheus text
-// form); /debug/vars remains as an expvar shim reading the same counters.
-type server struct {
-	runner  *runcache.Runner
-	cache   *runcache.Cache
-	timeout time.Duration
-	cores   int
-
-	reg        *obs.Registry
-	archRuns   *obs.CounterVec // completed requests by architecture (+ "figure")
-	archNanos  *obs.CounterVec // cumulative request latency by architecture
-	runSeconds *obs.Histogram  // request latency distribution
-}
-
-func newServer(cache *runcache.Cache, jobs, cores int, timeout time.Duration) *server {
-	runner := &runcache.Runner{Cache: cache, Jobs: jobs}
-	reg := obs.NewRegistry()
-	s := &server{
-		runner:  runner,
-		cache:   cache,
-		timeout: timeout,
-		cores:   cores,
-		reg:     reg,
-		archRuns: reg.NewCounterVec("ascoma_requests_total",
-			"Completed simulation requests by architecture (figure renders count as \"figure\").", "arch"),
-		archNanos: reg.NewCounterVec("ascoma_request_nanos_total",
-			"Cumulative request latency in nanoseconds by architecture.", "arch"),
-		runSeconds: reg.NewHistogram("ascoma_request_seconds",
-			"Request latency in seconds (cache hits and fresh simulations alike).", nil),
-	}
-	reg.NewGaugeFunc("ascoma_inflight_runs",
-		"Simulations currently executing (cache hits never count).",
-		func() float64 { return float64(runner.InFlight()) })
-	cache.Publish(reg)
-	return s
-}
-
-// publishVars registers the expvar shim: the same keys the service exposed
-// before the obs registry existed, now reading through it. Guarded for the
-// tests, which build several servers per process; the first server's
-// closures win, matching the one-server-per-process deployment.
-var publishOnce sync.Once
-
-func (s *server) publishVars() {
-	publishOnce.Do(func() {
-		expvar.Publish("ascoma_cache", expvar.Func(func() any { return s.cache.Stats() }))
-		expvar.Publish("ascoma_inflight_runs", expvar.Func(func() any { return s.runner.InFlight() }))
-		expvar.Publish("ascoma_runs", expvar.Func(func() any { return s.archRuns.Snapshot() }))
-		expvar.Publish("ascoma_run_nanos", expvar.Func(func() any { return s.archNanos.Snapshot() }))
-	})
-}
-
-func (s *server) handler() http.Handler {
-	s.publishVars()
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n") //nolint:errcheck // client-side failure
-	})
-	mux.Handle("GET /metrics", s.reg.Handler())
-	mux.Handle("GET /debug/vars", expvar.Handler())
-	mux.HandleFunc("POST /api/v1/run", s.handleRun)
-	mux.HandleFunc("GET /api/v1/figure/{app}", s.handleFigure)
-	if *pprofOn {
-		// The mux is not DefaultServeMux, so the handlers the pprof
-		// import registers there are unreachable; wire them explicitly.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	return mux
-}
-
-// runRequest is the POST /api/v1/run body.
-type runRequest struct {
-	Arch           string `json:"arch"`
-	Workload       string `json:"workload"`
-	Pressure       int    `json:"pressure"`
-	Scale          int    `json:"scale"`
-	MaxCycles      int64  `json:"maxCycles"`
-	SampleInterval int64  `json:"sampleInterval"`
-}
-
-// runResponse wraps the flattened statistics report.
-type runResponse struct {
-	Result  stats.JSONReport `json:"result"`
-	Samples []ascoma.Sample  `json:"samples,omitempty"`
-}
-
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req runRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	arch, err := ascoma.ParseArch(req.Arch)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if !slices.Contains(ascoma.Workloads(), req.Workload) {
-		http.Error(w, fmt.Sprintf("unknown workload %q (registered: %s)",
-			req.Workload, strings.Join(ascoma.Workloads(), ", ")), http.StatusBadRequest)
-		return
-	}
-	if req.Pressure < 1 || req.Pressure > 99 {
-		http.Error(w, fmt.Sprintf("pressure %d out of range [1,99]", req.Pressure), http.StatusBadRequest)
-		return
-	}
-	cfg := ascoma.Config{
-		Arch:           arch,
-		Workload:       req.Workload,
-		Pressure:       req.Pressure,
-		Scale:          req.Scale,
-		MaxCycles:      req.MaxCycles,
-		SampleInterval: req.SampleInterval,
-		Cores:          s.cores,
-	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-	defer cancel()
-	start := time.Now()
-	res, err := s.runner.Run(ctx, cfg)
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	elapsed := time.Since(start)
-	s.archRuns.With(arch.String()).Inc()
-	s.archNanos.With(arch.String()).Add(elapsed.Nanoseconds())
-	s.runSeconds.Observe(elapsed.Seconds())
-
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(runResponse{Result: stats.Report(res.Machine), Samples: res.Samples}); err != nil {
-		log.Printf("run response: %v", err)
-	}
-}
-
-func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
-	app := r.PathValue("app")
-	if !slices.Contains(ascoma.Workloads(), app) {
-		http.Error(w, fmt.Sprintf("unknown workload %q (registered: %s)",
-			app, strings.Join(ascoma.Workloads(), ", ")), http.StatusBadRequest)
-		return
-	}
-	q := r.URL.Query()
-	opts := report.Options{Runner: s.runner, Cores: s.cores}
-	switch format := q.Get("format"); format {
-	case "", "table", "csv", "chart":
-		opts.Format = format
-	default:
-		http.Error(w, fmt.Sprintf("unknown format %q (table, csv, chart)", format), http.StatusBadRequest)
-		return
-	}
-	if v := q.Get("scale"); v != "" {
-		scale, err := strconv.Atoi(v)
-		if err != nil || scale < 1 {
-			http.Error(w, "scale must be a positive integer", http.StatusBadRequest)
-			return
-		}
-		opts.Scale = scale
-	}
-	if v := q.Get("pressures"); v != "" {
-		plist, err := report.ParsePressures(v)
+func buildCache() (*runcache.Cache, error) {
+	var backends []runcache.Backend
+	if *cacheDir != "" {
+		disk, err := runcache.NewDiskBackend(*cacheDir)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, err
 		}
-		opts.Pressures = plist
+		backends = append(backends, disk)
 	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
-	defer cancel()
-	// Render into a buffer so a mid-grid failure returns a clean error
-	// instead of a truncated document.
-	var buf strings.Builder
-	start := time.Now()
-	if err := report.Figure(ctx, &buf, app, opts); err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			backends = append(backends, runcache.NewHTTPBackend(p, &http.Client{Timeout: 30 * time.Second}))
 		}
-		http.Error(w, err.Error(), status)
-		return
 	}
-	elapsed := time.Since(start)
-	s.archRuns.With("figure").Inc()
-	s.archNanos.With("figure").Add(elapsed.Nanoseconds())
-	s.runSeconds.Observe(elapsed.Seconds())
-	if opts.Format == "csv" {
-		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	} else {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	}
-	io.WriteString(w, buf.String()) //nolint:errcheck // client-side failure
+	return runcache.NewWithBackends(*cacheSize, backends...), nil
 }
 
 func main() {
 	flag.Parse()
 
-	var cache *runcache.Cache
-	var err error
-	cache, err = runcache.New(*cacheSize, *cacheDir)
+	cache, err := buildCache()
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := newServer(cache, *jobs, *cores, *reqTimeout)
+	s := serve.New(serve.Config{
+		Cache:   cache,
+		Jobs:    *jobs,
+		Cores:   *cores,
+		Timeout: *reqTimeout,
+		Pprof:   *pprofOn,
+	})
 
 	if *smoke {
-		if err := runSmoke(s); err != nil {
+		if err := serve.Smoke(s); err != nil {
 			log.Fatalf("smoke: %v", err)
 		}
 		fmt.Println("ascoma-serve smoke ok:", cache.Stats())
@@ -286,7 +99,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -294,8 +107,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ascoma-serve listening on %s (jobs=%d cache=%d entries, dir=%q)",
-			*addr, *jobs, *cacheSize, *cacheDir)
+		log.Printf("ascoma-serve listening on %s (jobs=%d cache=%d entries, dir=%q, peers=%q)",
+			*addr, *jobs, *cacheSize, *cacheDir, *peers)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -310,97 +123,6 @@ func main() {
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Fatalf("drain: %v", err)
 	}
+	s.Close()
 	log.Printf("ascoma-serve stopped; cache %s", cache.Stats())
-}
-
-// runSmoke starts the server on an ephemeral port, exercises /healthz, a
-// figure (twice, asserting the second render simulates nothing new), and a
-// run request, then drains. It is the make serve-smoke target.
-func runSmoke(s *server) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
-	}
-	srv := &http.Server{Handler: s.handler()}
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ln) }()
-	base := "http://" + ln.Addr().String()
-	client := &http.Client{Timeout: 2 * time.Minute}
-
-	get := func(url string) (string, error) {
-		resp, err := client.Get(url)
-		if err != nil {
-			return "", err
-		}
-		defer resp.Body.Close()
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return "", err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
-		}
-		return string(body), nil
-	}
-
-	if body, err := get(base + "/healthz"); err != nil {
-		return err
-	} else if !strings.Contains(body, "ok") {
-		return fmt.Errorf("healthz: %q", body)
-	}
-
-	figURL := base + "/api/v1/figure/uniform?scale=16&pressures=10,90"
-	if _, err := get(figURL); err != nil {
-		return err
-	}
-	simsAfterFirst := s.cache.Stats().Sims
-	body, err := get(figURL)
-	if err != nil {
-		return err
-	}
-	if !strings.Contains(body, "relative execution time") {
-		return fmt.Errorf("figure body missing table: %q", body)
-	}
-	if sims := s.cache.Stats().Sims; sims != simsAfterFirst {
-		return fmt.Errorf("second figure render simulated %d new runs, want 0", sims-simsAfterFirst)
-	}
-
-	resp, err := client.Post(base+"/api/v1/run", "application/json",
-		strings.NewReader(`{"arch":"AS-COMA","workload":"uniform","pressure":70,"scale":16}`))
-	if err != nil {
-		return err
-	}
-	runBody, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST run: %s: %s", resp.Status, runBody)
-	}
-	if !strings.Contains(string(runBody), "execTimeCycles") {
-		return fmt.Errorf("run body missing stats: %q", runBody)
-	}
-
-	metricsBody, err := get(base + "/metrics")
-	if err != nil {
-		return err
-	}
-	for _, want := range []string{
-		`ascoma_requests_total{arch="AS-COMA"}`,
-		"ascoma_runcache_sims_total",
-		"ascoma_request_seconds_count",
-		"ascoma_inflight_runs",
-	} {
-		if !strings.Contains(metricsBody, want) {
-			return fmt.Errorf("metrics exposition missing %q:\n%s", want, metricsBody)
-		}
-	}
-
-	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(dctx); err != nil {
-		return err
-	}
-	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
-		return err
-	}
-	return nil
 }

@@ -1346,6 +1346,7 @@ func (m *Machine) takeEpoch(now int64) {
 		m.ep.Set(obs.ProbeRemoteMisses, nd.id,
 			nd.st.Misses[stats.Home]+nd.st.Misses[stats.Cold]+nd.st.Misses[stats.ConfCapc])
 	}
+	m.ep.Commit()
 	m.nextEpoch = now + m.epochIntv
 }
 

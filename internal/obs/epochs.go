@@ -52,6 +52,15 @@ type Epochs struct {
 	// Interval is the sampling period in simulated cycles.
 	Interval int64
 
+	// OnEpoch, when non-nil, is invoked by Commit after each epoch row is
+	// fully sampled, with the completed epoch's index. It runs on the
+	// simulation goroutine at a deterministic point of the event order, so
+	// it may read the completed rows (Time/Value/Series) race-free — but it
+	// adds host latency to the run, so keep it cheap (snapshot and hand
+	// off). It must not mutate the Epochs. The jobs layer uses it to
+	// stream per-epoch progress to clients while the run executes.
+	OnEpoch func(epoch int)
+
 	nodes int
 	times []int64 // cycle stamp of each epoch
 	// vals[p] holds len(times)*nodes samples, epoch-major: the value of
@@ -96,6 +105,15 @@ func (e *Epochs) Begin(now int64) {
 // Set records probe p's value for node at the current (latest) epoch.
 func (e *Epochs) Set(p Probe, node int, v int64) {
 	e.vals[p][(len(e.times)-1)*e.nodes+node] = v
+}
+
+// Commit marks the latest epoch row complete. The machine calls it after
+// the last Set of each row; it fires OnEpoch when a sink is attached and
+// is free otherwise.
+func (e *Epochs) Commit() {
+	if e.OnEpoch != nil {
+		e.OnEpoch(len(e.times) - 1)
+	}
 }
 
 // Value returns probe p's sample at (epoch, node).

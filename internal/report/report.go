@@ -44,6 +44,12 @@ type Options struct {
 	// bit-identical at any core count, so Cores composes freely with Jobs
 	// and never splits the result cache.
 	Cores int
+	// Progress, when non-nil, is invoked after each grid cell completes
+	// with the running count of finished cells and the grid total. Calls
+	// come from the fan-out goroutines (serialized by the grid's result
+	// lock), so the callback must be cheap and need not be re-entrant.
+	// The async jobs layer streams these as figure-render progress events.
+	Progress func(done, total int)
 }
 
 func (o Options) withDefaults() Options {
@@ -170,6 +176,9 @@ func runGrid(ctx context.Context, app string, o Options) (map[runKey]*ascoma.Res
 			}
 			mu.Lock()
 			results[k] = res
+			if o.Progress != nil {
+				o.Progress(len(results), len(keys))
+			}
 			mu.Unlock()
 			return nil
 		})

@@ -1,0 +1,421 @@
+package runcache
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ascoma"
+)
+
+// newPeerServer mounts c's peer protocol the way ascoma-serve does:
+// PeerHandler behind a stripped /cache/v1 prefix.
+func newPeerServer(t *testing.T, c *Cache) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.StripPrefix(strings.TrimSuffix(PeerPrefix, "/"), PeerHandler(c)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleflightLeaderCancellationPromotesWaiter is the regression test
+// for the poisoning bug: the leader's fill dies of the *leader's* context
+// cancellation, and the waiter — whose own context is live — used to
+// receive that context.Canceled. Now the waiter retries, becomes the new
+// leader, and fills.
+func TestSingleflightLeaderCancellationPromotesWaiter(t *testing.T) {
+	c := NewWithBackends(16)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	waiterParked := make(chan struct{})
+	var calls atomic.Int64
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Do(leaderCtx, "poison", func(ctx context.Context) (*ascoma.Result, error) {
+			calls.Add(1)
+			<-waiterParked
+			cancelLeader()
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+		leaderErr <- err
+	}()
+	waitFor(t, "leader fill", func() bool { return calls.Load() == 1 })
+
+	want := fakeResult(7)
+	waiterDone := make(chan struct{})
+	var waiterRes *ascoma.Result
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterRes, waiterErr = c.Do(context.Background(), "poison", func(context.Context) (*ascoma.Result, error) {
+			calls.Add(1)
+			return want, nil
+		})
+	}()
+	waitFor(t, "waiter to park on the flight", func() bool { return c.Stats().Dedups == 1 })
+	close(waiterParked)
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("leader returned %v, want context.Canceled", err)
+	}
+	<-waiterDone
+	if waiterErr != nil {
+		t.Fatalf("live waiter was poisoned by the leader's cancellation: %v", waiterErr)
+	}
+	if waiterRes != want {
+		t.Error("promoted waiter did not fill with its own result")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("fill ran %d times, want 2 (dead leader + promoted waiter)", got)
+	}
+	// The fill landed: a third lookup is a pure memory hit.
+	res, err := c.Do(context.Background(), "poison", func(context.Context) (*ascoma.Result, error) {
+		t.Error("third lookup re-filled")
+		return nil, errors.New("unreachable")
+	})
+	if err != nil || res != want {
+		t.Errorf("post-promotion lookup: %v", err)
+	}
+}
+
+// TestSingleflightLeaderTimeoutPromotesWaiter covers the DeadlineExceeded
+// flavour of the same bug with a pre-expired leader.
+func TestSingleflightLeaderTimeoutPromotesWaiter(t *testing.T) {
+	c := NewWithBackends(16)
+	leaderCtx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	parked := make(chan struct{})
+	go func() {
+		c.Do(leaderCtx, "slow", func(ctx context.Context) (*ascoma.Result, error) { //nolint:errcheck
+			<-parked
+			return nil, ctx.Err() // DeadlineExceeded
+		})
+	}()
+	waitFor(t, "leader registration", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		_, ok := c.inflight["slow"]
+		return ok
+	})
+	done := make(chan struct{})
+	var res *ascoma.Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = c.Do(context.Background(), "slow", func(context.Context) (*ascoma.Result, error) {
+			return fakeResult(1), nil
+		})
+	}()
+	waitFor(t, "waiter to park", func() bool { return c.Stats().Dedups == 1 })
+	close(parked)
+	<-done
+	if err != nil || res == nil {
+		t.Fatalf("waiter after leader deadline: res=%v err=%v", res, err)
+	}
+}
+
+func TestDiskBackendConcurrentWriters(t *testing.T) {
+	b, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("contended")
+	res := fakeResult(3)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers hammer the same key; the atomic temp+rename protocol must
+	// never expose a torn file to the readers below.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := b.Store(ctx, key, res); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var loads, hits int
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		loads++
+		got, err := b.Load(ctx, key)
+		if errors.Is(err, ErrNotFound) {
+			continue // before the first rename landed
+		}
+		if err != nil {
+			t.Fatalf("torn or invalid read after %d loads: %v", loads, err)
+		}
+		if got.ArchID != res.ArchID {
+			t.Fatalf("read returned a different result: %v", got.ArchID)
+		}
+		hits++
+	}
+	close(stop)
+	wg.Wait()
+	if hits == 0 {
+		t.Error("no successful reads during the write storm")
+	}
+}
+
+func TestDiskBackendCorruptEntries(t *testing.T) {
+	b, err := NewDiskBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fakeResult(1)
+	valid, err := encodeResult("right", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched, err := encodeResult("other", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		blob []byte
+	}{
+		{"empty file", nil},
+		{"truncated json", valid[:len(valid)/2]},
+		{"not json", []byte("garbage\n")},
+		{"key mismatch", mismatched},
+		{"null machine", []byte(`{"key":"right","archID":2,"machine":null}`)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			key := Key("right")
+			if err := os.WriteFile(b.path(key), tc.blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := b.Load(context.Background(), key)
+			if err == nil {
+				t.Fatal("corrupt entry loaded successfully")
+			}
+			if errors.Is(err, ErrNotFound) {
+				t.Fatal("corruption reported as a plain miss — it must be visible")
+			}
+		})
+	}
+
+	// And the healthy paths for contrast.
+	if _, err := b.Load(context.Background(), "missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing entry: %v, want ErrNotFound", err)
+	}
+	if err := os.WriteFile(b.path("right"), valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Load(context.Background(), "right")
+	if err != nil || got.ArchID != res.ArchID {
+		t.Errorf("valid entry: %v, %v", got, err)
+	}
+}
+
+func TestHTTPBackendRejectsKeyMismatch(t *testing.T) {
+	res := fakeResult(1)
+	wrong, err := encodeResult("someone-elses-key", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status atomic.Int64
+	status.Store(http.StatusOK)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		code := int(status.Load())
+		if code != http.StatusOK {
+			http.Error(w, "nope", code)
+			return
+		}
+		w.Write(wrong) //nolint:errcheck
+	}))
+	defer ts.Close()
+	b := NewHTTPBackend(ts.URL, nil)
+
+	_, err = b.Load(context.Background(), "requested-key")
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Errorf("key-mismatched payload: %v, want a hard error", err)
+	}
+	if !strings.Contains(err.Error(), "key mismatch") {
+		t.Errorf("error does not name the mismatch: %v", err)
+	}
+
+	status.Store(http.StatusNotFound)
+	if _, err := b.Load(context.Background(), "requested-key"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("404: %v, want ErrNotFound", err)
+	}
+	status.Store(http.StatusInternalServerError)
+	if _, err := b.Load(context.Background(), "requested-key"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Errorf("500: %v, want a hard error", err)
+	}
+}
+
+func TestPeerProtocolRoundTrip(t *testing.T) {
+	// Worker A holds the result; worker B reaches it over the peer protocol.
+	a := NewWithBackends(16)
+	want := fakeResult(5)
+	a.Put("shared", want)
+	ts := newPeerServer(t, a)
+
+	b := NewWithBackends(16, NewHTTPBackend(ts.URL, nil))
+	got, err := b.Do(context.Background(), "shared", func(context.Context) (*ascoma.Result, error) {
+		t.Error("remote hit still simulated")
+		return nil, errors.New("unreachable")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ArchID != want.ArchID || got.Pressure != want.Pressure {
+		t.Error("peer round trip altered the result")
+	}
+	if st := b.Stats(); st.RemoteHits != 1 || st.Sims != 0 {
+		t.Errorf("stats = %+v, want 1 remote hit, 0 sims", st)
+	}
+
+	// B's Store pushes through the peer's PUT; a key-mismatched PUT is 400.
+	if err := NewHTTPBackend(ts.URL, nil).Store(context.Background(), "pushed", want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Fetch(context.Background(), "pushed"); err != nil {
+		t.Errorf("peer PUT did not land: %v", err)
+	}
+	blob, _ := encodeResult("other", want)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+PeerPrefix+"pushed", strings.NewReader(string(blob)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched PUT: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFetchSkipsRemoteBackends pins the loop-prevention invariant: the
+// peer protocol answers from local layers only, so two workers pointing at
+// each other can never recurse.
+func TestFetchSkipsRemoteBackends(t *testing.T) {
+	var peerHits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peerHits.Add(1)
+		http.Error(w, "should not be consulted", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := NewWithBackends(16, NewHTTPBackend(ts.URL, nil))
+	if _, err := c.Fetch(context.Background(), "anything"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Fetch = %v, want ErrNotFound", err)
+	}
+	if peerHits.Load() != 0 {
+		t.Error("Fetch consulted a remote backend")
+	}
+}
+
+// TestCrossWorkerSingleflight: worker B asks for a key worker A is still
+// simulating; the peer GET parks on A's in-flight fill and B receives A's
+// result without ever running its own simulation.
+func TestCrossWorkerSingleflight(t *testing.T) {
+	a := NewWithBackends(16)
+	ts := newPeerServer(t, a)
+	b := NewWithBackends(16, NewHTTPBackend(ts.URL, nil))
+
+	gate := make(chan struct{})
+	simStarted := make(chan struct{})
+	want := fakeResult(9)
+	go func() {
+		a.Do(context.Background(), "inflight", func(context.Context) (*ascoma.Result, error) { //nolint:errcheck
+			close(simStarted)
+			<-gate
+			return want, nil
+		})
+	}()
+	// Peer fetches only park on fills that reached the simulation itself
+	// (a fill still probing backends is answered as a miss — see Fetch).
+	<-simStarted
+
+	done := make(chan struct{})
+	var res *ascoma.Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = b.Do(context.Background(), "inflight", func(context.Context) (*ascoma.Result, error) {
+			t.Error("worker B simulated a key worker A was already filling")
+			return nil, errors.New("unreachable")
+		})
+	}()
+	select {
+	case <-done:
+		t.Fatal("B returned before A's fill completed")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ArchID != want.ArchID || res.Pressure != want.Pressure {
+		t.Error("cross-worker result mismatch")
+	}
+	if st := b.Stats(); st.RemoteHits != 1 || st.Sims != 0 {
+		t.Errorf("B stats = %+v, want the blocked peer fetch counted as a remote hit", st)
+	}
+}
+
+func TestBackendChainBackfill(t *testing.T) {
+	// memory -> disk -> "remote" (a second disk posing as the far layer via
+	// the real HTTP peer protocol): a hit at the far end back-fills disk.
+	far := NewWithBackends(16)
+	want := fakeResult(4)
+	far.Put("deep", want)
+	ts := newPeerServer(t, far)
+
+	dir := t.TempDir()
+	disk, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewWithBackends(16, disk, NewHTTPBackend(ts.URL, nil))
+	if _, err := c.Do(context.Background(), "deep", func(context.Context) (*ascoma.Result, error) {
+		t.Error("chained hit still simulated")
+		return nil, errors.New("unreachable")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.RemoteHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The remote hit must now be on disk: a cold cache over the same dir
+	// (and no peer) serves it locally.
+	cold := NewWithBackends(16, disk)
+	if _, err := cold.Do(context.Background(), "deep", func(context.Context) (*ascoma.Result, error) {
+		t.Error("backfill missed the disk layer")
+		return nil, errors.New("unreachable")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.DiskHits != 1 {
+		t.Errorf("cold stats = %+v", st)
+	}
+}

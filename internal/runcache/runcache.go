@@ -19,15 +19,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"ascoma"
 	"ascoma/internal/obs"
-	"ascoma/internal/stats"
 )
 
 // keyVersion is folded into every key; bump it when the statistics schema
@@ -56,15 +55,18 @@ func KeyOf(cfg ascoma.Config) (Key, error) {
 
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
-	MemHits  int64 `json:"memHits"`  // served from the in-memory LRU
-	DiskHits int64 `json:"diskHits"` // served from the on-disk layer
-	Dedups   int64 `json:"dedups"`   // waited on an identical in-flight run
-	Sims     int64 `json:"sims"`     // simulations actually executed
-	Errors   int64 `json:"errors"`   // failed fills (never cached)
+	MemHits    int64 `json:"memHits"`    // served from the in-memory LRU
+	DiskHits   int64 `json:"diskHits"`   // served from the on-disk layer
+	RemoteHits int64 `json:"remoteHits"` // served from a remote (peer) backend
+	Dedups     int64 `json:"dedups"`     // waited on an identical in-flight run
+	Sims       int64 `json:"sims"`       // simulations actually executed
+	Errors     int64 `json:"errors"`     // failed fills (never cached)
 }
 
 // Lookups returns the total number of Do calls the snapshot covers.
-func (s Stats) Lookups() int64 { return s.MemHits + s.DiskHits + s.Dedups + s.Sims + s.Errors }
+func (s Stats) Lookups() int64 {
+	return s.MemHits + s.DiskHits + s.RemoteHits + s.Dedups + s.Sims + s.Errors
+}
 
 // HitRate returns the fraction of lookups that avoided a fresh simulation.
 func (s Stats) HitRate() float64 {
@@ -72,19 +74,25 @@ func (s Stats) HitRate() float64 {
 	if n == 0 {
 		return 0
 	}
-	return float64(s.MemHits+s.DiskHits+s.Dedups) / float64(n)
+	return float64(s.MemHits+s.DiskHits+s.RemoteHits+s.Dedups) / float64(n)
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("mem=%d disk=%d dedup=%d sims=%d errors=%d (%.1f%% hit rate)",
-		s.MemHits, s.DiskHits, s.Dedups, s.Sims, s.Errors, 100*s.HitRate())
+	return fmt.Sprintf("mem=%d disk=%d remote=%d dedup=%d sims=%d errors=%d (%.1f%% hit rate)",
+		s.MemHits, s.DiskHits, s.RemoteHits, s.Dedups, s.Sims, s.Errors, 100*s.HitRate())
 }
 
-// flight is one in-progress fill; waiters block on done.
+// flight is one in-progress fill; waiters block on done. simulating is
+// closed when the fill moves past the backend probes into the simulation
+// itself — Fetch (the peer-protocol read) only parks on flights past that
+// point, because a fill still probing backends may be probing the very
+// peer that is asking (two workers filling the same key would otherwise
+// deadlock, each waiting on the other's in-flight table).
 type flight struct {
-	done chan struct{}
-	res  *ascoma.Result
-	err  error
+	done       chan struct{}
+	simulating chan struct{}
+	res        *ascoma.Result
+	err        error
 }
 
 // Cache is a concurrency-safe, content-addressed result cache.
@@ -93,14 +101,15 @@ type Cache struct {
 	entries  map[Key]*list.Element
 	lru      *list.List // front = most recent; values are *lruEntry
 	max      int
-	dir      string
+	backends []Backend // probed in order on a miss; see backend.go
 	inflight map[Key]*flight
 
-	memHits  atomic.Int64
-	diskHits atomic.Int64
-	dedups   atomic.Int64
-	sims     atomic.Int64
-	errs     atomic.Int64
+	memHits    atomic.Int64
+	diskHits   atomic.Int64
+	remoteHits atomic.Int64
+	dedups     atomic.Int64
+	sims       atomic.Int64
+	errs       atomic.Int64
 }
 
 type lruEntry struct {
@@ -113,31 +122,43 @@ type lruEntry struct {
 // created if needed and used as a persistent second layer: every simulated
 // result is written there, and misses probe it before simulating.
 func New(maxEntries int, dir string) (*Cache, error) {
+	var backends []Backend
+	if dir != "" {
+		disk, err := NewDiskBackend(dir)
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, disk)
+	}
+	return NewWithBackends(maxEntries, backends...), nil
+}
+
+// NewWithBackends returns a cache over an ordered chain of backends —
+// typically disk first, then an HTTP peer — probed in that order on a
+// memory miss. A hit in a later backend is written back into the earlier
+// ones, so the chain behaves as one tiered store.
+func NewWithBackends(maxEntries int, backends ...Backend) *Cache {
 	if maxEntries < 1 {
 		maxEntries = 1024
-	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("runcache: %w", err)
-		}
 	}
 	return &Cache{
 		entries:  make(map[Key]*list.Element),
 		lru:      list.New(),
 		max:      maxEntries,
-		dir:      dir,
+		backends: backends,
 		inflight: make(map[Key]*flight),
-	}, nil
+	}
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		MemHits:  c.memHits.Load(),
-		DiskHits: c.diskHits.Load(),
-		Dedups:   c.dedups.Load(),
-		Sims:     c.sims.Load(),
-		Errors:   c.errs.Load(),
+		MemHits:    c.memHits.Load(),
+		DiskHits:   c.diskHits.Load(),
+		RemoteHits: c.remoteHits.Load(),
+		Dedups:     c.dedups.Load(),
+		Sims:       c.sims.Load(),
+		Errors:     c.errs.Load(),
 	}
 }
 
@@ -149,6 +170,8 @@ func (c *Cache) Publish(reg *obs.Registry) {
 		"Results served from the in-memory LRU.", c.memHits.Load)
 	reg.NewCounterFunc("ascoma_runcache_disk_hits_total",
 		"Results served from the on-disk layer.", c.diskHits.Load)
+	reg.NewCounterFunc("ascoma_runcache_remote_hits_total",
+		"Results served from a remote (HTTP peer) backend.", c.remoteHits.Load)
 	reg.NewCounterFunc("ascoma_runcache_dedups_total",
 		"Lookups that waited on an identical in-flight run.", c.dedups.Load)
 	reg.NewCounterFunc("ascoma_runcache_sims_total",
@@ -175,47 +198,157 @@ func (c *Cache) Len() int {
 // key wait for that fill and share its outcome. A waiter whose ctx is
 // cancelled stops waiting (the fill itself keeps the leader's context).
 // Errors are returned but never cached.
+//
+// A leader's cancellation never poisons its waiters: when the fill fails
+// with a context error but the waiter's own context is still live, the
+// waiter retries the lookup — one of the survivors becomes the new leader
+// and re-fills — so a request is cancelled only by its own context.
 func (c *Cache) Do(ctx context.Context, key Key, fn func(ctx context.Context) (*ascoma.Result, error)) (*ascoma.Result, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		res := el.Value.(*lruEntry).res
-		c.mu.Unlock()
-		c.memHits.Add(1)
-		return res, nil
-	}
-	if f, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		c.dedups.Add(1)
-		select {
-		case <-f.done:
-			return f.res, f.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
-	}
-	f := &flight{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.mu.Unlock()
-
-	f.res, f.err = c.fill(ctx, key, fn)
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	c.mu.Unlock()
-	close(f.done)
-	return f.res, f.err
-}
-
-// fill resolves a miss: disk layer first, then the simulation itself.
-func (c *Cache) fill(ctx context.Context, key Key, fn func(ctx context.Context) (*ascoma.Result, error)) (*ascoma.Result, error) {
-	if c.dir != "" {
-		if res, err := c.loadDisk(key); err == nil {
-			c.diskHits.Add(1)
-			c.store(key, res)
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			res := el.Value.(*lruEntry).res
+			c.mu.Unlock()
+			c.memHits.Add(1)
 			return res, nil
 		}
+		if f, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			c.dedups.Add(1)
+			select {
+			case <-f.done:
+				if f.err != nil && isContextErr(f.err) && ctx.Err() == nil {
+					// The leader was cancelled or timed out, but this
+					// waiter is live: promote it to retry the lookup.
+					continue
+				}
+				return f.res, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{}), simulating: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		f.res, f.err = c.fill(ctx, f, key, fn)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(f.done)
+		return f.res, f.err
 	}
+}
+
+// isContextErr reports whether err is (or wraps) a cancellation or
+// deadline error — the class of fill failures that reflect the leader's
+// context rather than the simulation itself.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Fetch returns the result for key from this process's local layers only:
+// the memory LRU, the in-flight singleflight table, and every non-remote
+// backend (disk). It never simulates and never consults remote backends —
+// the peer protocol (PeerHandler) is built on it, and a peer that probed
+// its own peers could loop.
+//
+// A Fetch that lands while this process is *simulating* the same key
+// blocks until the fill completes (bounded by ctx): that is the
+// cross-worker singleflight — a peer asking for a result another worker
+// is already simulating waits for that simulation instead of starting its
+// own. A fill still probing its backend chain is answered as a miss, not
+// waited on: two workers filling the same key probe each other, and
+// parking both sides would deadlock the pair. Local counters are
+// untouched: serving a peer is not a local lookup.
+func (c *Cache) Fetch(ctx context.Context, key Key) (*ascoma.Result, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			res := el.Value.(*lruEntry).res
+			c.mu.Unlock()
+			return res, nil
+		}
+		f, ok := c.inflight[key]
+		c.mu.Unlock()
+		if ok {
+			select {
+			case <-f.simulating:
+			default:
+				// The fill is still probing its backend chain — it may be
+				// probing the very peer now asking us. Answering "miss"
+				// breaks the cycle; the asker fills on its own, at worst
+				// duplicating one simulation instead of deadlocking.
+				return nil, ErrNotFound
+			}
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.res, nil
+				}
+				if isContextErr(f.err) && ctx.Err() == nil {
+					continue // the fill died with its leader; re-probe
+				}
+				return nil, ErrNotFound
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		for _, b := range c.backends {
+			if _, isRemote := b.(remoteBackend); isRemote {
+				continue
+			}
+			if res, err := b.Load(ctx, key); err == nil {
+				c.store(key, res)
+				return res, nil
+			}
+		}
+		return nil, ErrNotFound
+	}
+}
+
+// Put inserts a result produced outside the Do path — an observed run
+// (which bypasses the cache read side so its recording fills) or a peer's
+// PUT — into the memory layer and every local backend (never back out to
+// remote peers; see persist). Results are identical with or without
+// observation, so a Put entry satisfies later lookups of the same config
+// exactly like a simulated fill.
+func (c *Cache) Put(key Key, res *ascoma.Result) {
+	c.store(key, res)
+	c.persist(key, res)
+}
+
+// fill resolves a miss: the backend chain in order, then the simulation
+// itself. A hit at backend i is written back into backends 0..i-1 so the
+// faster layers warm up.
+func (c *Cache) fill(ctx context.Context, f *flight, key Key, fn func(ctx context.Context) (*ascoma.Result, error)) (*ascoma.Result, error) {
+	for i, b := range c.backends {
+		res, err := b.Load(ctx, key)
+		if err != nil {
+			if !errors.Is(err, ErrNotFound) {
+				// Real backend trouble (corruption, a sick peer) must be
+				// visible, but only costs a re-simulation.
+				fmt.Fprintf(os.Stderr, "runcache: load %s: %v\n", shortKey(key), err)
+			}
+			continue
+		}
+		if _, isRemote := b.(remoteBackend); isRemote {
+			c.remoteHits.Add(1)
+		} else {
+			c.diskHits.Add(1)
+		}
+		c.store(key, res)
+		for _, earlier := range c.backends[:i] {
+			if werr := earlier.Store(ctx, key, res); werr != nil {
+				fmt.Fprintf(os.Stderr, "runcache: backfill %s: %v\n", shortKey(key), werr)
+			}
+		}
+		return res, nil
+	}
+	close(f.simulating) // peers asking for this key now park on the fill
 	res, err := fn(ctx)
 	if err != nil {
 		c.errs.Add(1)
@@ -223,13 +356,32 @@ func (c *Cache) fill(ctx context.Context, key Key, fn func(ctx context.Context) 
 	}
 	c.sims.Add(1)
 	c.store(key, res)
-	if c.dir != "" {
-		if werr := c.saveDisk(key, res); werr != nil {
-			// A failed persist only costs a future re-simulation.
-			fmt.Fprintf(os.Stderr, "runcache: persist %s: %v\n", key[:12], werr)
+	c.persist(key, res)
+	return res, nil
+}
+
+// persist writes res through to every local backend, best-effort: a failed
+// persist only costs a future re-simulation. Remote backends are skipped —
+// a worker owns the results it produces and peers pull them on demand;
+// pushing would let two peers pointing at each other forward one result
+// back and forth forever.
+func (c *Cache) persist(key Key, res *ascoma.Result) {
+	for _, b := range c.backends {
+		if _, isRemote := b.(remoteBackend); isRemote {
+			continue
+		}
+		if werr := b.Store(context.Background(), key, res); werr != nil {
+			fmt.Fprintf(os.Stderr, "runcache: persist %s: %v\n", shortKey(key), werr)
 		}
 	}
-	return res, nil
+}
+
+// shortKey abbreviates a key for log lines.
+func shortKey(key Key) string {
+	if len(key) > 12 {
+		return string(key[:12])
+	}
+	return string(key)
 }
 
 // store inserts into the memory layer, evicting from the LRU tail.
@@ -249,54 +401,3 @@ func (c *Cache) store(key Key, res *ascoma.Result) {
 	}
 }
 
-// diskResult is the persisted form of a result. The embedded key double-
-// checks that a file renamed or corrupted on disk never satisfies the
-// wrong request.
-type diskResult struct {
-	Key     Key             `json:"key"`
-	ArchID  ascoma.Arch     `json:"archID"`
-	Machine *stats.Machine  `json:"machine"`
-	Samples []ascoma.Sample `json:"samples,omitempty"`
-}
-
-func (c *Cache) path(key Key) string {
-	return filepath.Join(c.dir, string(key)+".json")
-}
-
-func (c *Cache) loadDisk(key Key) (*ascoma.Result, error) {
-	blob, err := os.ReadFile(c.path(key))
-	if err != nil {
-		return nil, err
-	}
-	var d diskResult
-	if err := json.Unmarshal(blob, &d); err != nil {
-		return nil, err
-	}
-	if d.Key != key || d.Machine == nil {
-		return nil, fmt.Errorf("runcache: %s: key mismatch or empty payload", c.path(key))
-	}
-	return &ascoma.Result{Machine: d.Machine, ArchID: d.ArchID, Samples: d.Samples}, nil
-}
-
-// saveDisk persists atomically (temp file + rename) so a crashed writer
-// never leaves a torn entry for loadDisk to trip over.
-func (c *Cache) saveDisk(key Key, res *ascoma.Result) error {
-	blob, err := json.Marshal(diskResult{Key: key, ArchID: res.ArchID, Machine: res.Machine, Samples: res.Samples})
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(c.dir, "tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), c.path(key))
-}

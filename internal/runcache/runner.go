@@ -74,6 +74,9 @@ func (r *Runner) Run(ctx context.Context, cfg ascoma.Config) (*ascoma.Result, er
 // result is never cached, but the semaphore and cancellation still apply.
 func (r *Runner) RunGenerator(ctx context.Context, cfg ascoma.Config, gen ascoma.Generator) (*ascoma.Result, error) {
 	r.once.Do(r.init)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"ascoma/internal/jobs"
+)
+
+// Smoke starts the server on an ephemeral port and exercises every
+// surface: /healthz, a figure (twice — the second render must simulate
+// nothing new), a run request, the async job API (submit, poll, stream
+// events to the terminal line), and /metrics; then drains. It is the
+// `make serve-smoke` target and the -smoke flag.
+func Smoke(s *Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	get := func(url string) (string, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+		}
+		return string(body), nil
+	}
+
+	if body, err := get(base + "/healthz"); err != nil {
+		return err
+	} else if !strings.Contains(body, "ok") {
+		return fmt.Errorf("healthz: %q", body)
+	}
+
+	figURL := base + "/api/v1/figure/uniform?scale=16&pressures=10,90"
+	if _, err := get(figURL); err != nil {
+		return err
+	}
+	simsAfterFirst := s.cache.Stats().Sims
+	body, err := get(figURL)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(body, "relative execution time") {
+		return fmt.Errorf("figure body missing table: %q", body)
+	}
+	if sims := s.cache.Stats().Sims; sims != simsAfterFirst {
+		return fmt.Errorf("second figure render simulated %d new runs, want 0", sims-simsAfterFirst)
+	}
+
+	resp, err := client.Post(base+"/api/v1/run", "application/json",
+		strings.NewReader(`{"arch":"AS-COMA","workload":"uniform","pressure":70,"scale":16}`))
+	if err != nil {
+		return err
+	}
+	runBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST run: %s: %s", resp.Status, runBody)
+	}
+	if !strings.Contains(string(runBody), "execTimeCycles") {
+		return fmt.Errorf("run body missing stats: %q", runBody)
+	}
+
+	// The async farm: submit a grid job over the cells the figure render
+	// warmed (a pure-hit job), stream its events to the terminal line,
+	// and poll the final status.
+	resp, err = client.Post(base+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"grid":{"apps":["uniform"],"pressures":[10,90],"scale":16}}`))
+	if err != nil {
+		return err
+	}
+	jobBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST jobs: %s: %s", resp.Status, jobBody)
+	}
+	var submitted jobs.Status
+	if err := json.Unmarshal(jobBody, &submitted); err != nil {
+		return fmt.Errorf("job submit response: %v: %s", err, jobBody)
+	}
+	terminal, err := streamToTerminal(client, base+"/api/v1/jobs/"+submitted.ID+"/events")
+	if err != nil {
+		return err
+	}
+	if terminal != "done" {
+		return fmt.Errorf("job %s ended %q, want done", submitted.ID, terminal)
+	}
+	statusBody, err := get(base + "/api/v1/jobs/" + submitted.ID)
+	if err != nil {
+		return err
+	}
+	var final jobs.Status
+	if err := json.Unmarshal([]byte(statusBody), &final); err != nil {
+		return fmt.Errorf("job status: %v: %s", err, statusBody)
+	}
+	if final.State != jobs.StateDone || final.CellsDone != final.CellsTotal || final.CellsTotal == 0 {
+		return fmt.Errorf("job status after done: %+v", final)
+	}
+
+	metricsBody, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		`ascoma_requests_total{arch="AS-COMA"}`,
+		"ascoma_runcache_sims_total",
+		"ascoma_request_seconds_count",
+		"ascoma_inflight_runs",
+		`ascoma_jobs_submitted_total{kind="grid"} 1`,
+		"ascoma_jobs_live 0",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			return fmt.Errorf("metrics exposition missing %q:\n%s", want, metricsBody)
+		}
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	s.Close()
+	if err := <-done; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// streamToTerminal consumes a job's NDJSON event stream until it closes,
+// returning the type of the last (terminal) event.
+func streamToTerminal(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	last := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return "", fmt.Errorf("event stream: %v: %s", err, sc.Text())
+		}
+		last = ev.Type
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return last, nil
+}
