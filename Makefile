@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke trace-check parallel-check e2e
+.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke trace-check parallel-check model-check e2e
 
 all: build
 
@@ -55,14 +55,24 @@ parallel-check:
 	.bin/ascoma-sim -arch ascoma -workload radix -pressure 70 -scale 16 -cores 4 -trace .bin/trace-par -epoch 5000 >/dev/null
 	cmp .bin/trace-seq .bin/trace-par
 
+# model-check validates the analytical steady-state estimator
+# (internal/estimate) against the 72-config golden matrix: every cell is
+# simulated and the relative-execution-time error must stay inside the
+# documented per-architecture bounds (see modelBounds in
+# internal/estimate/modelcheck_test.go). The -v run prints the tracked
+# per-figure error summary.
+model-check:
+	$(GO) test -run '^TestModelCheck$$' -count=1 -v ./internal/estimate/
+
 # verify is the pre-commit gate: vet (stock + ascoma-vet), build, the full
 # test suite (including the golden determinism test), a short race-detector
-# smoke over the internal packages, the trace-determinism check, and the
-# server smoke test.
+# smoke over the internal packages, the estimator accuracy gate, the
+# trace-determinism check, and the server smoke test.
 verify: vet
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./internal/...
+	$(MAKE) model-check
 	$(MAKE) trace-check
 	$(MAKE) parallel-check
 	$(GO) run ./cmd/ascoma-serve -smoke
@@ -72,6 +82,7 @@ verify: vet
 # README.md ("Benchmarking") for the benchstat workflow.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig2FFT$$|BenchmarkHotPath$$|BenchmarkGridRow$$' -benchtime 3x -count 3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkEstimate$$|BenchmarkEstimateProfile$$' -benchmem -count 3 .
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamGeneration$$' -count 3 .
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelScaling|BenchmarkParallelMissBound$$' -benchtime 10x -count 3 .
 

@@ -26,6 +26,7 @@ import (
 	"ascoma/internal/addr"
 	"ascoma/internal/cache"
 	"ascoma/internal/directory"
+	"ascoma/internal/estimate"
 	"ascoma/internal/params"
 	"ascoma/internal/sim"
 	"ascoma/internal/stats"
@@ -403,6 +404,55 @@ func BenchmarkGridRow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, pr := range pressures {
 			benchRun(b, ASCOMA, "fft", pr)
+		}
+	}
+}
+
+// BenchmarkEstimate is BenchmarkGridRow's analytical twin: the same
+// nine-pressure AS-COMA row over fft, answered by internal/estimate's
+// steady-state model instead of simulation. Predict is allocation-free
+// (the //ascoma:hotpath contract), so allocs/op must stay 0 and ns/op
+// divided by nine is the per-cell prediction cost — the number
+// BENCH_PR8.json tracks against BenchmarkGridRow's per-cell simulation
+// cost (>=100x apart). Estimator construction (one stream replay per
+// workload) happens once outside the timed loop, the same amortization
+// screening gets in practice.
+func BenchmarkEstimate(b *testing.B) {
+	b.ReportAllocs()
+	prof, err := workload.ProfileFor("fft", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := estimate.New(prof, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pressures := []int{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pr := range pressures {
+			p := est.Predict(ASCOMA, pr)
+			sink += p.RelTime
+		}
+	}
+	b.ReportMetric(sink/float64(b.N*len(pressures)), "mean_rel")
+}
+
+// BenchmarkEstimateProfile prices estimator construction on the path
+// screening and the serve endpoint actually take: ProfileFor memoizes
+// the stream-replay profile per workload+scale, so after the first cold
+// build (one replay, amortized across a process) each construction is a
+// memo lookup plus the per-node weight computation in estimate.New.
+func BenchmarkEstimateProfile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prof, err := workload.ProfileFor("fft", benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := estimate.New(prof, DefaultParams()); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -45,6 +45,7 @@ var DeterministicPackages = []string{
 	"ascoma/internal/stats",
 	"ascoma/internal/obs",
 	"ascoma/internal/par",
+	"ascoma/internal/estimate",
 }
 
 // Analyzer is the nondet analysis.

@@ -14,8 +14,11 @@ import (
 	"strings"
 
 	"ascoma"
+	"ascoma/internal/estimate"
+	"ascoma/internal/params"
 	"ascoma/internal/report"
 	"ascoma/internal/runcache"
+	"ascoma/internal/workload"
 )
 
 // Validation bounds. The simulator itself tolerates almost anything — a
@@ -290,4 +293,68 @@ func dedupeSorted(ps []int) []int {
 		}
 	}
 	return out[:n]
+}
+
+// EstimateSpec is the body of POST /api/v1/estimate: analytical
+// steady-state predictions (internal/estimate) for one workload across an
+// architecture x pressure grid. No simulation runs — predictions cost
+// microseconds — so there is no async arm; the endpoint is synchronous.
+// An empty Archs selects the full six-architecture golden matrix; an
+// empty Pressures the default figure grid.
+type EstimateSpec struct {
+	Workload  string   `json:"workload"`
+	Archs     []string `json:"archs,omitempty"`
+	Pressures []int    `json:"pressures,omitempty"`
+	Scale     int      `json:"scale"`
+}
+
+// Predictions validates the spec, builds (or reuses the memoized)
+// workload profile, and computes one prediction per grid cell.
+func (e EstimateSpec) Predictions() ([]estimate.Prediction, error) {
+	if !slices.Contains(ascoma.Workloads(), e.Workload) {
+		return nil, badSpec("unknown workload %q (registered: %s)",
+			e.Workload, strings.Join(ascoma.Workloads(), ", "))
+	}
+	if e.Scale < 0 || e.Scale > MaxScale {
+		return nil, badSpec("scale %d out of range [0,%d]", e.Scale, MaxScale)
+	}
+	archs := []ascoma.Arch{ascoma.CCNUMA, ascoma.SCOMA, ascoma.RNUMA, ascoma.VCNUMA, ascoma.ASCOMA, ascoma.MIGNUMA}
+	if len(e.Archs) > 0 {
+		archs = archs[:0]
+		seen := map[ascoma.Arch]bool{}
+		for _, a := range e.Archs {
+			arch, err := ascoma.ParseArch(a)
+			if err != nil {
+				return nil, badSpec("%v", err)
+			}
+			if !seen[arch] {
+				seen[arch] = true
+				archs = append(archs, arch)
+			}
+		}
+	}
+	pressures := []int{10, 30, 50, 70, 90}
+	if len(e.Pressures) > 0 {
+		for _, p := range e.Pressures {
+			if p < 1 || p > 99 {
+				return nil, badSpec("pressure %d out of range [1,99]", p)
+			}
+		}
+		pressures = dedupeSorted(e.Pressures)
+	}
+	prof, err := workload.ProfileFor(e.Workload, e.Scale)
+	if err != nil {
+		return nil, badSpec("%v", err)
+	}
+	est, err := estimate.New(prof, params.Default())
+	if err != nil {
+		return nil, fmt.Errorf("jobs: estimator for %s: %w", e.Workload, err)
+	}
+	preds := make([]estimate.Prediction, 0, len(archs)*len(pressures))
+	for _, arch := range archs {
+		for _, p := range pressures {
+			preds = append(preds, est.Predict(arch, p))
+		}
+	}
+	return preds, nil
 }

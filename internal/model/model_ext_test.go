@@ -1,0 +1,109 @@
+package model_test
+
+// External-package tests: the model consumed exactly as report/estimate
+// consume it — Extract on finished runs, Relations on triples, Overhead
+// as the comparable scalar.
+
+import (
+	"testing"
+
+	"ascoma/internal/machine"
+	"ascoma/internal/model"
+	"ascoma/internal/params"
+	"ascoma/internal/stats"
+	"ascoma/internal/workload"
+)
+
+func runArch(t *testing.T, arch params.Arch, app string, pressure int) *stats.Machine {
+	t.Helper()
+	gen, err := workload.New(app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.Config{Arch: arch, Pressure: pressure}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMidPressureRelations probes the regime the paper's Section 2.4
+// derivations do not cover: at 50% pressure, which relation set applies
+// is decided by the workload's footprint, not the pressure knob. For
+// hotcold the hot set still fits the halved pool, so the low-pressure
+// relations (1)-(3) must hold; for uniform the footprint is already past
+// the pool knee — S-COMA thrashes (its Toverhead dwarfs the hybrid's,
+// which is exactly why relation (2) may NOT be asserted here) — so the
+// high-pressure relations (4)-(5) take over. Both workloads must satisfy
+// the high-pressure set: total miss work only grows toward CC-NUMA's as
+// the pool tightens.
+func TestMidPressureRelations(t *testing.T) {
+	p := params.Default()
+	for _, app := range []string{"hotcold", "uniform"} {
+		r := model.Relations{
+			Hybrid: model.Extract(runArch(t, params.RNUMA, app, 50), &p),
+			SComa:  model.Extract(runArch(t, params.SCOMA, app, 50), &p),
+			CCNUMA: model.Extract(runArch(t, params.CCNUMA, app, 50), &p),
+		}
+		if app == "hotcold" {
+			if err := r.CheckLowPressure(0.25); err != nil {
+				t.Errorf("%s at 50%%: low-pressure relations: %v", app, err)
+			}
+		} else if r.SComa.Toverhead < r.Hybrid.Toverhead {
+			t.Errorf("%s at 50%%: expected S-COMA past its pool knee (Toverhead %d >= hybrid %d)",
+				app, r.SComa.Toverhead, r.Hybrid.Toverhead)
+		}
+		if err := r.CheckHighPressure(0.25); err != nil {
+			t.Errorf("%s at 50%%: high-pressure relations: %v", app, err)
+		}
+	}
+}
+
+// TestOverheadNonNegativeGolden is the model's safety property across
+// the entire 72-config golden matrix: every extracted term is a count
+// or a cycle total and must be non-negative, so Overhead() — the
+// weighted sum report and estimate compare architectures by — can never
+// go negative either.
+func TestOverheadNonNegativeGolden(t *testing.T) {
+	p := params.Default()
+	apps := []string{"barnes", "em3d", "fft", "lu", "ocean", "radix"}
+	archs := []params.Arch{params.CCNUMA, params.SCOMA, params.RNUMA,
+		params.VCNUMA, params.ASCOMA, params.MIGNUMA}
+	configs := 0
+	for _, app := range apps {
+		for _, arch := range archs {
+			for _, pr := range []int{10, 70} {
+				terms := model.Extract(runArch(t, arch, app, pr), &p)
+				configs++
+				for name, v := range map[string]int64{
+					"Npagecache": terms.Npagecache,
+					"Nremote":    terms.Nremote,
+					"Ncold":      terms.Ncold,
+					"Nrac":       terms.Nrac,
+					"Toverhead":  terms.Toverhead,
+				} {
+					if v < 0 {
+						t.Errorf("%s %v(%d%%): negative term %s = %d", app, arch, pr, name, v)
+					}
+				}
+				if terms.NcoldInduced > terms.Ncold {
+					t.Errorf("%s %v(%d%%): induced cold %d exceeds total cold %d",
+						app, arch, pr, terms.NcoldInduced, terms.Ncold)
+				}
+				if ov := terms.Overhead(); ov < 0 {
+					t.Errorf("%s %v(%d%%): negative overhead %d (%v)", app, arch, pr, ov, terms)
+				} else if ov < terms.Toverhead {
+					t.Errorf("%s %v(%d%%): overhead %d below its kernel term %d",
+						app, arch, pr, ov, terms.Toverhead)
+				}
+			}
+		}
+	}
+	if configs != 72 {
+		t.Fatalf("covered %d golden configs, want 72", configs)
+	}
+}

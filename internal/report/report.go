@@ -44,6 +44,20 @@ type Options struct {
 	// bit-identical at any core count, so Cores composes freely with Jobs
 	// and never splits the result cache.
 	Cores int
+	// Screen enables estimator screening for figure grids: the
+	// analytical model (internal/estimate) certifies pressure-equivalent
+	// cells, one representative per class simulates, and the rest reuse
+	// its result. The rendered output is byte-identical to an unscreened
+	// run; only the number of simulations shrinks. Cells the model
+	// cannot certify always simulate.
+	Screen bool
+	// ScreenStats, when non-nil with Screen, accumulates simulated vs
+	// skipped cell counts across renders (Publish exposes them as
+	// ascoma_estimate_* metrics).
+	ScreenStats *ScreenStats
+	// ScreenLog, when non-nil with Screen, is called once per screened
+	// grid with the app name and its simulated/skipped cell counts.
+	ScreenLog func(app string, simulated, skipped int)
 	// Progress, when non-nil, is invoked after each grid cell completes
 	// with the running count of finished cells and the grid total. Calls
 	// come from the fan-out goroutines (serialized by the grid's result
@@ -111,6 +125,10 @@ type runKey struct {
 	pressure int
 }
 
+// gridArchs are the pressure-sensitive architectures of a figure grid;
+// the CC-NUMA baseline runs once at 50% besides them.
+var gridArchs = []ascoma.Arch{ascoma.SCOMA, ascoma.ASCOMA, ascoma.VCNUMA, ascoma.RNUMA}
+
 // errGroup coordinates a fan-out: the first recorded failure cancels the
 // shared context so outstanding simulations abort instead of running to
 // completion.
@@ -151,12 +169,34 @@ func (g *errGroup) wait() error {
 	return g.err
 }
 
+// grid dispatches between the plain and screened grid paths; every
+// figure render goes through here.
+func grid(ctx context.Context, app string, o Options) (map[runKey]*ascoma.Result, error) {
+	if o.Screen {
+		if plan := planScreen(app, o); plan != nil {
+			return runGridScreened(ctx, app, o, plan)
+		}
+	}
+	results, err := runGrid(ctx, app, o)
+	if err == nil && o.Screen {
+		// Screening was requested but certified nothing for this app;
+		// account the full grid as simulated so the sweep totals add up.
+		if o.ScreenStats != nil {
+			o.ScreenStats.simulated.Add(int64(len(results)))
+		}
+		if o.ScreenLog != nil {
+			o.ScreenLog(app, len(results), 0)
+		}
+	}
+	return results, err
+}
+
 // runGrid executes the architecture x pressure grid for one application in
 // parallel through the shared Runner. CC-NUMA runs once (it is
 // pressure-insensitive). The first failure cancels every outstanding cell.
 func runGrid(ctx context.Context, app string, o Options) (map[runKey]*ascoma.Result, error) {
 	keys := []runKey{{ascoma.CCNUMA, 50}}
-	for _, a := range []ascoma.Arch{ascoma.SCOMA, ascoma.ASCOMA, ascoma.VCNUMA, ascoma.RNUMA} {
+	for _, a := range gridArchs {
 		for _, p := range o.Pressures {
 			keys = append(keys, runKey{a, p})
 		}
@@ -192,7 +232,7 @@ func runGrid(ctx context.Context, app string, o Options) (map[runKey]*ascoma.Res
 // gridRows iterates the grid in the paper's presentation order.
 func gridRows(results map[runKey]*ascoma.Result, pressures []int, f func(label string, r *ascoma.Result)) {
 	f("CCNUMA", results[runKey{ascoma.CCNUMA, 50}])
-	for _, a := range []ascoma.Arch{ascoma.SCOMA, ascoma.ASCOMA, ascoma.VCNUMA, ascoma.RNUMA} {
+	for _, a := range gridArchs {
 		for _, p := range pressures {
 			if r := results[runKey{a, p}]; r != nil {
 				f(fmt.Sprintf("%v(%d%%)", a, p), r)
@@ -205,7 +245,7 @@ func gridRows(results map[runKey]*ascoma.Result, pressures []int, f func(label s
 // execution-time breakdown; right: miss classification).
 func Figure(ctx context.Context, w io.Writer, app string, o Options) error {
 	o = o.withDefaults()
-	results, err := runGrid(ctx, app, o)
+	results, err := grid(ctx, app, o)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ascoma/internal/obs"
+)
+
+// TestScreenedFigureIdentity is the screening contract: a screened figure
+// render simulates strictly fewer cells than the full grid yet produces
+// byte-identical output, because only cells the estimator certifies
+// pressure-equivalent are filled from their simulated representative.
+func TestScreenedFigureIdentity(t *testing.T) {
+	const scale = 16
+	apps := []string{"barnes", "em3d", "fft", "lu", "ocean", "radix"}
+	sstats := &ScreenStats{}
+	for _, app := range apps {
+		var full, screened strings.Builder
+		if err := Figure(context.Background(), &full, app, Options{Scale: scale}); err != nil {
+			t.Fatalf("full render %s: %v", app, err)
+		}
+		if err := Figure(context.Background(), &screened, app, Options{
+			Scale: scale, Screen: true, ScreenStats: sstats,
+		}); err != nil {
+			t.Fatalf("screened render %s: %v", app, err)
+		}
+		if full.String() != screened.String() {
+			t.Errorf("%s: screened figure differs from full render:\n--- full ---\n%s\n--- screened ---\n%s",
+				app, full.String(), screened.String())
+		}
+	}
+	// The default grid is 21 cells per app (CC-NUMA once + 4 archs x 5
+	// pressures); screening must have skipped some and simulated the rest.
+	total := int64(21 * len(apps))
+	if got := sstats.Simulated() + sstats.Skipped(); got != total {
+		t.Errorf("simulated %d + skipped %d = %d cells, want %d",
+			sstats.Simulated(), sstats.Skipped(), got, total)
+	}
+	if sstats.Skipped() == 0 {
+		t.Error("screening skipped no cells; expected at least the low-pressure cells to certify")
+	}
+	if sstats.Simulated() >= total {
+		t.Errorf("screening simulated %d of %d cells — strictly fewer required", sstats.Simulated(), total)
+	}
+	if sstats.Fallbacks() != 0 {
+		t.Errorf("certificate cross-check failed %d times; the model certified a pressured cell", sstats.Fallbacks())
+	}
+	t.Logf("screening: %d simulated, %d skipped of %d cells", sstats.Simulated(), sstats.Skipped(), total)
+
+	// The counters publish under the documented metric names.
+	reg := obs.NewRegistry()
+	sstats.Publish(reg)
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, name := range []string{"ascoma_estimate_skipped_total", "ascoma_estimate_simulated_total"} {
+		if !strings.Contains(text.String(), name) {
+			t.Errorf("metrics exposition missing %s:\n%s", name, text.String())
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"ascoma/internal/estimate"
 	"ascoma/internal/jobs"
 	"ascoma/internal/obs"
 	"ascoma/internal/report"
@@ -69,6 +70,7 @@ type Server struct {
 	runSeconds *obs.Histogram  // request latency distribution
 	errCodes   *obs.CounterVec // failed requests by status code (499/500/504)
 	jobsByKind *obs.CounterVec // admitted jobs by spec kind
+	estimates  *obs.Counter    // analytical estimate requests served
 }
 
 // New builds a Server over cfg.
@@ -95,6 +97,8 @@ func New(cfg Config) *Server {
 			"Failed simulation requests by status code: 499 = client disconnected (not a server fault), 504 = server deadline, 500 = simulation error.", "code"),
 		jobsByKind: reg.NewCounterVec("ascoma_jobs_submitted_total",
 			"Admitted async jobs by spec kind.", "kind"),
+		estimates: reg.NewCounter("ascoma_estimates_total",
+			"Analytical estimate requests served (POST /api/v1/estimate); no simulation runs for these."),
 	}
 	reg.NewGaugeFunc("ascoma_inflight_runs",
 		"Simulations currently executing (cache hits never count).",
@@ -123,6 +127,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	mux.HandleFunc("POST /api/v1/run", s.handleRun)
+	mux.HandleFunc("POST /api/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("GET /api/v1/figure/{app}", s.handleFigure)
 	mux.HandleFunc("POST /api/v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
@@ -229,6 +234,36 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(jobs.RunResult{Result: stats.Report(res.Machine), Samples: res.Samples}); err != nil {
 		log.Printf("run response: %v", err)
+	}
+}
+
+// handleEstimate serves the analytical fast path: one steady-state
+// prediction per (arch, pressure) cell, computed in microseconds from the
+// workload's memoized structural profile. Validation errors are 400s like
+// the simulation endpoints; nothing here touches the runner or the cache.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.EstimateSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	preds, err := spec.Predictions()
+	if err != nil {
+		if jobs.IsValidation(err) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.errCodes.With(strconv.Itoa(http.StatusInternalServerError)).Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.estimates.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(struct {
+		Workload    string                `json:"workload"`
+		Predictions []estimate.Prediction `json:"predictions"`
+	}{spec.Workload, preds}); err != nil {
+		log.Printf("estimate response: %v", err)
 	}
 }
 

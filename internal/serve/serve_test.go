@@ -602,3 +602,66 @@ func TestPprofGating(t *testing.T) {
 		t.Errorf("pprof enabled: GET /debug/pprof/ = %d %q", resp.StatusCode, body)
 	}
 }
+
+func TestEstimateEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/v1/estimate", "application/json",
+		strings.NewReader(`{"workload":"uniform","scale":32,"archs":["CC-NUMA","AS-COMA"],"pressures":[10,70]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Workload    string `json:"workload"`
+		Predictions []struct {
+			Arch     string  `json:"arch"`
+			Pressure int     `json:"pressure"`
+			RelTime  float64 `json:"relTime"`
+			ExecTime int64   `json:"execTimeCycles"`
+		} `json:"predictions"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("estimate response not JSON: %v\n%s", err, body)
+	}
+	if out.Workload != "uniform" || len(out.Predictions) != 4 {
+		t.Fatalf("want 4 uniform predictions, got %q x%d", out.Workload, len(out.Predictions))
+	}
+	for _, p := range out.Predictions {
+		if p.ExecTime <= 0 || p.RelTime <= 0 {
+			t.Errorf("%s(%d%%): non-positive prediction %+v", p.Arch, p.Pressure, p)
+		}
+	}
+	// The CC-NUMA cell is its own baseline: relTime exactly 1.
+	if got := out.Predictions[0]; got.Arch != "CC-NUMA" || got.RelTime != 1 {
+		t.Errorf("first prediction %+v, want CC-NUMA relTime 1", got)
+	}
+	// Estimates never simulate.
+	if sims := s.cache.Stats().Sims; sims != 0 {
+		t.Errorf("estimate ran %d simulations, want 0", sims)
+	}
+}
+
+func TestEstimateEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{"workload":"nonexistent"}`,
+		`{"workload":"uniform","archs":["NOPE"]}`,
+		`{"workload":"uniform","pressures":[0]}`,
+		`{"workload":"uniform","pressures":[100]}`,
+		`{"workload":"uniform","scale":-1}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/v1/estimate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

@@ -83,6 +83,35 @@ func Smoke(s *Server) error {
 		return fmt.Errorf("run body missing stats: %q", runBody)
 	}
 
+	// The analytical fast path: predictions for a full arch grid must come
+	// back without simulating anything.
+	simsBeforeEst := s.cache.Stats().Sims
+	resp, err = client.Post(base+"/api/v1/estimate", "application/json",
+		strings.NewReader(`{"workload":"uniform","scale":16,"pressures":[10,90]}`))
+	if err != nil {
+		return err
+	}
+	estBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST estimate: %s: %s", resp.Status, estBody)
+	}
+	var est struct {
+		Predictions []json.RawMessage `json:"predictions"`
+	}
+	if err := json.Unmarshal(estBody, &est); err != nil {
+		return fmt.Errorf("estimate response: %v: %s", err, estBody)
+	}
+	if len(est.Predictions) != 12 { // 6 archs x 2 pressures
+		return fmt.Errorf("estimate returned %d predictions, want 12: %s", len(est.Predictions), estBody)
+	}
+	if !strings.Contains(string(estBody), "relTime") {
+		return fmt.Errorf("estimate body missing relTime: %s", estBody)
+	}
+	if sims := s.cache.Stats().Sims; sims != simsBeforeEst {
+		return fmt.Errorf("estimate simulated %d runs, want 0", sims-simsBeforeEst)
+	}
+
 	// The async farm: submit a grid job over the cells the figure render
 	// warmed (a pure-hit job), stream its events to the terminal line,
 	// and poll the final status.
@@ -130,6 +159,7 @@ func Smoke(s *Server) error {
 		"ascoma_inflight_runs",
 		`ascoma_jobs_submitted_total{kind="grid"} 1`,
 		"ascoma_jobs_live 0",
+		"ascoma_estimates_total 1",
 	} {
 		if !strings.Contains(metricsBody, want) {
 			return fmt.Errorf("metrics exposition missing %q:\n%s", want, metricsBody)
