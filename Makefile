@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify vet bench race fuzz-smoke clean serve-smoke trace-check parallel-check model-check e2e
+.PHONY: all build test verify vet vet-self bench race fuzz-smoke clean serve-smoke trace-check parallel-check model-check e2e
 
 all: build
 
@@ -24,13 +24,24 @@ serve-smoke:
 e2e:
 	$(GO) test -count=1 -v ./e2e/
 
-# vet runs the stock go vet suite plus the repo's own analyzers
-# (cmd/ascoma-vet: nondet, hotpath, statsintegrity, ctxflow) through the
-# standard -vettool protocol. See DESIGN.md, "Enforced invariants".
+# vet runs the stock go vet suite plus the repo's own analyzers. The
+# standalone ascoma-vet invocation runs the whole-program checks first
+# (parownership, hotpathflow, dirlint — the interprocedural call-graph
+# engine of DESIGN.md §14, which also fails any escape hatch lacking a
+# reason), then re-execs the per-package analyzers (nondet, hotpath,
+# statsintegrity, ctxflow, errdrop) through the standard -vettool
+# protocol. See DESIGN.md §9 and §14.
 vet:
 	$(GO) vet ./...
 	$(GO) build -o .bin/ascoma-vet ./cmd/ascoma-vet
-	$(GO) vet -vettool=.bin/ascoma-vet ./...
+	.bin/ascoma-vet ./...
+
+# vet-self turns the analyzer suite on its own implementation: the
+# analysis packages must hold the same error-handling and directive
+# discipline they enforce on the simulator.
+vet-self:
+	$(GO) build -o .bin/ascoma-vet ./cmd/ascoma-vet
+	.bin/ascoma-vet ./internal/analysis/...
 
 # trace-check proves flight-recorder determinism end to end through the
 # real binaries: record the same observed run twice with ascoma-sim and
@@ -68,7 +79,7 @@ model-check:
 # test suite (including the golden determinism test), a short race-detector
 # smoke over the internal packages, the estimator accuracy gate, the
 # trace-determinism check, and the server smoke test.
-verify: vet
+verify: vet vet-self
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./internal/...

@@ -1,0 +1,38 @@
+package ascoma
+
+import "testing"
+
+// TestRecordingAllocOverhead pins the property BenchmarkHotPathRecorded's
+// doc comment claims: attaching a preallocated flight recorder adds no
+// per-run heap allocations over an unrecorded run — every Emit lands in
+// the fixed ring. Machine construction allocates in both cases, so the
+// pinned quantity is the recorded-minus-plain delta, with a small slack
+// for the recording's attachment bookkeeping. Epoch probes are off: the
+// epoch series grows by design (obs.Epochs.Begin appends a row per epoch),
+// which is the documented, separately-hatched exception.
+func TestRecordingAllocOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates full runs")
+	}
+	cfg := Config{Arch: ASCOMA, Workload: "uniform", Pressure: 50, Scale: 64}
+
+	run := func(c Config) {
+		if _, err := Run(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain := testing.AllocsPerRun(3, func() { run(cfg) })
+
+	rec := NewRecording(1<<14, 0)
+	recorded := testing.AllocsPerRun(3, func() {
+		rec.Events.Reset()
+		c := cfg
+		c.Obs = rec
+		run(c)
+	})
+
+	const slack = 4
+	if recorded > plain+slack {
+		t.Errorf("recorded run allocates %.0f/run vs %.0f/run plain; the recorder is supposed to be allocation-free (slack %d)", recorded, plain, slack)
+	}
+}

@@ -122,7 +122,7 @@ func main() {
 					sstats.Simulated(), sstats.Skipped(), sstats.Fallbacks())
 			}
 			fmt.Fprintln(os.Stderr, "sweep: run metrics:")
-			reg.WriteText(os.Stderr) //nolint:errcheck // best-effort exit report
+			reg.WriteText(os.Stderr) //ascoma:allow-errdrop best-effort exit report
 		}()
 	}
 	runner := &runcache.Runner{Cache: cache, Jobs: *jobs}
@@ -251,6 +251,6 @@ func run(err error) {
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
-	stopProf() //nolint:errcheck // best effort on the failure path
+	stopProf() //ascoma:allow-errdrop best effort on the failure path
 	os.Exit(1)
 }

@@ -56,6 +56,7 @@ func (p Page) Index() (idx PageIndex, ok bool) {
 func (p Page) MustIndex() PageIndex {
 	idx, ok := p.Index()
 	if !ok {
+		//ascoma:allow-alloc panic message; legal pages never take this branch
 		panic("addr: page " + p.String() + " outside the legal address regions")
 	}
 	return idx

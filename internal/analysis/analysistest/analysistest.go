@@ -27,6 +27,7 @@ import (
 	"testing"
 
 	"ascoma/internal/analysis"
+	"ascoma/internal/analysis/program"
 )
 
 // Run applies the analyzer to the corpus package in dir (a path relative to
@@ -45,10 +46,38 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		t.Fatalf("%s: %v", a.Name, err)
 	}
 
-	wants := expectations(t, pass.Fset, pass.Files)
+	match(t, pass.Fset, got, expectations(t, pass.Fset, pass.Files))
+}
 
+// RunProgram applies a whole-program analyzer to the corpus tree rooted at
+// dir: the directory and each subdirectory holding .go files become one
+// package each, importing one another as "<base(dir)>/<sub>" (see
+// program.LoadDir). Expectations are the same // want comments, collected
+// across every package of the fixture.
+func RunProgram(t *testing.T, a *program.Analyzer, dir string) {
+	t.Helper()
+	prog, err := program.LoadDir(dir, filepath.Base(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := program.RunAnalyzers(prog, []*program.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	var files []*ast.File
+	for _, pkg := range prog.Pkgs {
+		files = append(files, pkg.Files...)
+	}
+	match(t, prog.Fset, got, expectations(t, prog.Fset, files))
+}
+
+// match checks every diagnostic against the expectations and every
+// expectation against the diagnostics, reporting each mismatch.
+func match(t *testing.T, fset *token.FileSet, got []analysis.Diagnostic, wants map[string][]*regexp.Regexp) {
+	t.Helper()
 	for _, d := range got {
-		posn := pass.Fset.Position(d.Pos)
+		posn := fset.Position(d.Pos)
 		key := fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line)
 		matched := false
 		for i, w := range wants[key] {
@@ -132,6 +161,13 @@ func expectations(t *testing.T, fset *token.FileSet, files []*ast.File) map[stri
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
+				// Block form for lines whose diagnostic lands on a line
+				// comment (e.g. dirlint reporting a bad directive), where a
+				// trailing // want could never fit on the same line:
+				//   /* want `unknown directive` */ //ascoma:hotpah
+				if rest, isBlock := strings.CutPrefix(text, "/*"); isBlock {
+					text = strings.TrimSuffix(rest, "*/")
+				}
 				text = strings.TrimSpace(text)
 				rest, ok := strings.CutPrefix(text, "want ")
 				if !ok {

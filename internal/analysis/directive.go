@@ -29,6 +29,40 @@ import (
 //	for k := range m {
 const directivePrefix = "//ascoma:"
 
+// A DirectiveKind classifies a known directive name.
+type DirectiveKind int
+
+const (
+	// Annotation opts a declaration in to a check (reason optional).
+	Annotation DirectiveKind = iota
+	// Hatch suppresses or cuts one finding and REQUIRES a reason; dirlint
+	// fails the build on a reasonless hatch.
+	Hatch
+)
+
+// KnownDirectives is the registry of every //ascoma: directive the suite
+// understands. dirlint flags any name outside this table.
+var KnownDirectives = map[string]DirectiveKind{
+	// Annotations.
+	"hotpath":          Annotation, // zero-alloc function (hotpath, hotpathflow root)
+	"stats":            Annotation, // stats struct (statsintegrity)
+	"stats-serialize":  Annotation, // golden-checksum serialization func
+	"stats-finalize":   Annotation, // stats finalize func (arg: union type)
+	"par-worker":       Annotation, // parallel-core worker entry point (parownership root)
+	"par-commit":       Annotation, // commit-goroutine-only function (parownership)
+	"par-commit-state": Annotation, // commit-owned type; arg "reads-ok" permits worker reads
+
+	// Escape hatches and graph cuts (reason required).
+	"allow-nondet":       Hatch, // nondet
+	"allow-alloc":        Hatch, // hotpath, hotpathflow
+	"allow-unserialized": Hatch, // statsintegrity
+	"allow-noctx":        Hatch, // ctxflow
+	"allow-errdrop":      Hatch, // errdrop
+	"allow-hotcall":      Hatch, // hotpathflow: exempt one call site from the closure
+	"hotpath-stop":       Hatch, // hotpathflow: cut the closure at this function
+	"par-exempt":         Hatch, // parownership: cut the worker closure at this function
+}
+
 // A Directive is one parsed //ascoma: comment.
 type Directive struct {
 	Pos  token.Pos

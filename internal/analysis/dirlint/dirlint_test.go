@@ -1,0 +1,12 @@
+package dirlint_test
+
+import (
+	"testing"
+
+	"ascoma/internal/analysis/analysistest"
+	"ascoma/internal/analysis/dirlint"
+)
+
+func TestDirlint(t *testing.T) {
+	analysistest.RunProgram(t, dirlint.Analyzer, "../testdata/src/dirlint")
+}

@@ -1,0 +1,128 @@
+// Package errdrop flags calls whose error result is silently discarded —
+// the class of bug PR 2 fixed in the report writer, where CSV write errors
+// vanished and a truncated results file looked like a clean run. A call
+// that returns an error and is used as a bare statement (or spawned with
+// go) drops the only signal that the operation failed.
+//
+// Not flagged:
+//
+//   - explicit discards (`_ = f()`, `_, _ = g()`): the author visibly
+//     decided;
+//   - deferred calls (`defer f.Close()`): the accepted cleanup idiom —
+//     there is no control flow left to handle the error;
+//   - the fmt.Print family and (*strings.Builder)/(*bytes.Buffer) writers,
+//     whose errors are vacuous or conventionally ignored;
+//   - (*flag.FlagSet).Parse: the repo's flag sets use flag.ExitOnError,
+//     which handles parse errors by exiting before Parse returns.
+//
+// A deliberate drop on a live statement is suppressed with
+// //ascoma:allow-errdrop <reason>.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ascoma/internal/analysis"
+)
+
+// Analyzer is the errdrop analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flag statement calls that discard an error result",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				return false // deferred cleanup: no handler could run
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(pass, call)
+				}
+			case *ast.GoStmt:
+				check(pass, n.Call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return
+	}
+	if !returnsError(tv.Type) || exempt(pass, call) {
+		return
+	}
+	if pass.Allowed(call.Pos(), "allow-errdrop") {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or write `_ =` / //ascoma:allow-errdrop <reason>", callName(call))
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func returnsError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// exempt reports the conventional always-ignored cases: fmt printing and
+// the never-failing in-memory writers.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, isIdent := sel.X.(*ast.Ident); isIdent {
+		if pkg, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg && pkg.Imported().Path() == "fmt" {
+			return true
+		}
+	}
+	if selection := pass.TypesInfo.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+		recv := selection.Recv()
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		if named, isNamed := types.Unalias(recv).(*types.Named); isNamed {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() + "." + obj.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return true
+				case "flag.FlagSet":
+					if sel.Sel.Name == "Parse" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

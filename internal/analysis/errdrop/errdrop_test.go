@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"ascoma/internal/analysis/analysistest"
+	"ascoma/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "../testdata/src/errdrop")
+}

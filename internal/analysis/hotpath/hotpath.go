@@ -56,24 +56,31 @@ func run(pass *analysis.Pass) error {
 }
 
 func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
-	report := func(pos token.Pos, format string, args ...interface{}) {
+	CheckAllocs(pass.TypesInfo, pass.Pkg, fd.Body, func(pos token.Pos, format string, args ...interface{}) {
 		if !pass.Allowed(pos, "allow-alloc") {
 			pass.Reportf(pos, "%s: "+format, append([]interface{}{fd.Name.Name}, args...)...)
 		}
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	})
+}
+
+// CheckAllocs walks one function body and reports every heap-allocating
+// construct through report. It is the shared core of the intra-function
+// hotpath analyzer and the interprocedural hotpathflow analyzer; the caller
+// applies the //ascoma:allow-alloc hatch.
+func CheckAllocs(info *types.Info, pkg *types.Package, body ast.Node, report func(pos token.Pos, format string, args ...interface{})) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			report(n.Pos(), "closure in a hot path allocates its environment")
 			return true // still check the closure's body
 		case *ast.CallExpr:
-			checkCall(pass, n, report)
+			checkCall(info, pkg, n, report)
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isString(pass, n.X) {
+			if n.Op == token.ADD && isString(info, n.X) {
 				report(n.OpPos, "string concatenation allocates")
 			}
 		case *ast.AssignStmt:
-			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info, n.Lhs[0]) {
 				report(n.TokPos, "string concatenation allocates")
 			}
 		}
@@ -81,8 +88,8 @@ func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 }
 
-func isString(pass *analysis.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+func isString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
 	if !ok || tv.Type == nil {
 		return false
 	}
@@ -90,13 +97,13 @@ func isString(pass *analysis.Pass, e ast.Expr) bool {
 	return ok && b.Info()&types.IsString != 0
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+func checkCall(info *types.Info, pkg *types.Package, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
 	// T(x) where T is an interface and x is concrete: the conversion boxes
 	// x into a heap-allocated interface payload.
-	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
-			if argTV, ok := pass.TypesInfo.Types[call.Args[0]]; ok && argTV.Type != nil && !types.IsInterface(argTV.Type) {
-				report(call.Pos(), "conversion to interface type %s allocates", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			if argTV, ok := info.Types[call.Args[0]]; ok && argTV.Type != nil && !types.IsInterface(argTV.Type) {
+				report(call.Pos(), "conversion to interface type %s allocates", types.TypeString(tv.Type, types.RelativeTo(pkg)))
 			}
 		}
 		return
@@ -104,7 +111,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, s
 
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
 			switch b.Name() {
 			case "append":
 				report(call.Pos(), "append may grow and allocate; preallocate or use a pooled buffer")
@@ -114,7 +121,7 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr, report func(token.Pos, s
 		}
 	case *ast.SelectorExpr:
 		if id, ok := fun.X.(*ast.Ident); ok {
-			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			if pkg, ok := info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
 				report(call.Pos(), "fmt.%s allocates and forces its operands to escape", fun.Sel.Name)
 			}
 		}

@@ -1,0 +1,70 @@
+// Package hotpathflow enforces the hotpath allocation discipline over the
+// *transitive* call closure of every //ascoma:hotpath root. The
+// intra-function hotpath analyzer deliberately stops at the annotated
+// body — before the call-graph engine existed, a hot function could call an
+// allocating helper undetected. This analyzer walks the whole-program call
+// graph (static calls, interface dispatch resolved to every implementing
+// program type, func values resolved by flow propagation) from the
+// annotated roots and applies the same allocation checks to every reachable
+// function, reporting the call path that makes each one hot.
+//
+// The closure is cut explicitly, never silently:
+//
+//   - //ascoma:hotpath-stop <reason> on a function declaration marks the
+//     hot/slow boundary: the function and everything it alone reaches are
+//     excluded (e.g. the lock slow path, the sampling probes);
+//   - //ascoma:allow-hotcall <reason> on a call site exempts that one edge;
+//   - //ascoma:allow-alloc <reason> suppresses one allocating construct,
+//     exactly as in the intra-function analyzer.
+//
+// Standard-library callees are leaves: their cost is the call itself, which
+// the intra-function checks already police (fmt, append, make…).
+package hotpathflow
+
+import (
+	"go/token"
+
+	"ascoma/internal/analysis/hotpath"
+	"ascoma/internal/analysis/program"
+)
+
+// Analyzer is the hotpathflow analysis.
+var Analyzer = &program.Analyzer{
+	Name: "hotpathflow",
+	Doc:  "enforce zero-alloc discipline over the transitive call closure of //ascoma:hotpath roots",
+	Run:  run,
+}
+
+func run(pass *program.Pass) error {
+	prog := pass.Prog
+	roots := prog.FuncsWithDirective("hotpath")
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := prog.Reachable(roots, func(e program.Edge) bool {
+		if arg, ok := e.Callee.Directive("hotpath-stop"); ok && arg != "" {
+			return true
+		}
+		return prog.Allowed(e.Pos, "allow-hotcall")
+	})
+
+	reported := make(map[token.Pos]bool)
+	for _, f := range reach.Funcs {
+		if _, hot := f.Directive("hotpath"); hot {
+			continue // the intra-function analyzer owns annotated bodies
+		}
+		body := f.Body()
+		if body == nil {
+			continue
+		}
+		path := reach.Path(f)
+		hotpath.CheckAllocs(f.Pkg.Info, f.Pkg.Pkg, body, func(pos token.Pos, format string, args ...interface{}) {
+			if reported[pos] || pass.Allowed(pos, "allow-alloc") {
+				return
+			}
+			reported[pos] = true
+			pass.Reportf(pos, "hot via %s: "+format, append([]interface{}{path}, args...)...)
+		})
+	}
+	return nil
+}

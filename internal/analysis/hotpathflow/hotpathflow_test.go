@@ -1,0 +1,12 @@
+package hotpathflow_test
+
+import (
+	"testing"
+
+	"ascoma/internal/analysis/analysistest"
+	"ascoma/internal/analysis/hotpathflow"
+)
+
+func TestHotpathflow(t *testing.T) {
+	analysistest.RunProgram(t, hotpathflow.Analyzer, "../testdata/src/hotpathflow")
+}

@@ -46,6 +46,7 @@ var DeterministicPackages = []string{
 	"ascoma/internal/obs",
 	"ascoma/internal/par",
 	"ascoma/internal/estimate",
+	"ascoma/internal/jobs",
 }
 
 // Analyzer is the nondet analysis.

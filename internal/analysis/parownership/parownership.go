@@ -1,0 +1,257 @@
+// Package parownership proves the goroutine-ownership discipline of the
+// deterministic parallel core (DESIGN.md §11) statically, in the spirit of
+// RacerD's ownership reasoning: state is partitioned between the commit
+// goroutine — which replays the exact sequential event order — and the
+// scan workers, which may only touch worker-confined state (the private L1
+// snapshot, staged stat deltas, dirty-mark buffers). Before this analyzer
+// the split was enforced only dynamically, by -race on whatever
+// interleavings CI happened to produce.
+//
+// Annotations (on declarations):
+//
+//   - //ascoma:par-worker — a worker entry point or worker-safe function
+//     (par.Queue.loop, the scan thunk, ffScan). The analyzer computes the
+//     transitive call closure of these roots over the program call graph,
+//     closures-passed-as-thunks included.
+//   - //ascoma:par-commit — a function only the commit goroutine may call
+//     (queue Submit/Quiesce, arm/apply, live-cache Lookup).
+//   - //ascoma:par-commit-state [reads-ok] — a type owned by the commit
+//     goroutine. Worker-reachable code must not touch it at all; with the
+//     reads-ok argument, plain field reads are permitted but writes,
+//     address-taking, and method calls through it are still violations.
+//
+// Violations name the worker call path that reaches the offending code, so
+// a diagnostic reads like a proof: which root, through which thunk, touches
+// what it must not. //ascoma:par-exempt <reason> (on a declaration, or on a
+// call site's line) cuts the worker closure where an edge is a false
+// positive — the reason is mandatory and audited by dirlint.
+package parownership
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ascoma/internal/analysis/program"
+)
+
+// Analyzer is the parownership analysis.
+var Analyzer = &program.Analyzer{
+	Name: "parownership",
+	Doc:  "prove the worker/commit goroutine state split of the parallel core over the call graph",
+	Run:  run,
+}
+
+type mode int
+
+const (
+	strict  mode = iota // no worker access at all
+	readsOK             // worker may read fields; writes, &, method calls flagged
+)
+
+func run(pass *program.Pass) error {
+	prog := pass.Prog
+	roots := prog.FuncsWithDirective("par-worker")
+	if len(roots) == 0 {
+		return nil
+	}
+
+	owned := make(map[*types.TypeName]mode)
+	for _, td := range prog.TypesWithDirective("par-commit-state") {
+		m := strict
+		if td.Dir.Arg == "reads-ok" {
+			m = readsOK
+		}
+		owned[td.Obj] = m
+	}
+
+	cut := func(e program.Edge) bool {
+		if arg, ok := e.Callee.Directive("par-exempt"); ok && arg != "" {
+			return true
+		}
+		return prog.Allowed(e.Pos, "par-exempt")
+	}
+	reach := prog.Reachable(roots, cut)
+
+	c := &checker{pass: pass, owned: owned, reported: make(map[token.Pos]bool)}
+	for _, f := range reach.Funcs {
+		path := reach.Path(f)
+		if _, commit := f.Directive("par-commit"); commit {
+			if _, alsoWorker := f.Directive("par-worker"); !alsoWorker {
+				c.reportf(f.Pos(), "commit-only function %s is reachable from worker code via %s", f.Name(), path)
+				continue
+			}
+		}
+		c.checkEdges(f, path)
+		c.checkBody(f, path)
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *program.Pass
+	owned    map[*types.TypeName]mode
+	reported map[token.Pos]bool
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
+	if c.reported[pos] || c.pass.Allowed(pos, "par-exempt") {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// checkEdges flags calls from worker-reachable code to commit-only
+// functions.
+func (c *checker) checkEdges(f *program.Func, path string) {
+	for _, e := range f.Edges {
+		if e.Callee == nil {
+			continue
+		}
+		if _, commit := e.Callee.Directive("par-commit"); !commit {
+			continue
+		}
+		if _, worker := e.Callee.Directive("par-worker"); worker {
+			continue
+		}
+		c.reportf(e.Pos, "worker code (via %s) calls commit-only %s", path, e.Callee.Name())
+	}
+}
+
+// checkBody applies the state-access rules to one worker-reachable
+// function body. Nested function literals are their own graph nodes and
+// are checked only if themselves worker-reachable.
+func (c *checker) checkBody(f *program.Func, path string) {
+	body := f.Body()
+	if body == nil {
+		return
+	}
+	info := f.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(info, lhs, path)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(info, n.X, path)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if base := c.firstOwned(info, n.X, readsOK); base != nil {
+					c.reportf(n.Pos(), "worker code (via %s) takes the address of commit-owned %s state", path, c.typeName(info, base))
+				}
+			}
+		case *ast.CallExpr:
+			c.checkMethodCall(info, n, path)
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if m, owner := c.ownedExpr(info, e); owner != nil && m == strict {
+				c.reportf(e.Pos(), "worker code (via %s) touches commit-owned %s state", path, owner.Name())
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite flags an assignment whose destination lies inside commit-owned
+// state. A bare identifier destination only rebinds a variable, so it is
+// never a violation here (strict types are caught by the expression rule).
+func (c *checker) checkWrite(info *types.Info, lhs ast.Expr, path string) {
+	lhs = ast.Unparen(lhs)
+	if _, isIdent := lhs.(*ast.Ident); isIdent {
+		return
+	}
+	if base := c.firstOwned(info, lhs, readsOK); base != nil {
+		c.reportf(lhs.Pos(), "worker code (via %s) writes commit-owned %s state", path, c.typeName(info, base))
+	}
+}
+
+// checkMethodCall flags method calls whose receiver is (or is reached
+// through) commit-owned reads-ok state, unless the callee is itself
+// annotated worker-safe.
+func (c *checker) checkMethodCall(info *types.Info, call *ast.CallExpr, path string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	base := c.firstOwned(info, sel.X, readsOK)
+	if base == nil {
+		return
+	}
+	if fn, isFn := info.Uses[sel.Sel].(*types.Func); isFn {
+		if callee := c.pass.Prog.FuncOf(fn); callee != nil {
+			if _, worker := callee.Directive("par-worker"); worker {
+				return
+			}
+		}
+	}
+	c.reportf(call.Pos(), "worker code (via %s) calls method %s through commit-owned %s state", path, sel.Sel.Name, c.typeName(info, base))
+}
+
+// ownedExpr reports whether an expression's type is a commit-owned named
+// type (through any level of pointers).
+func (c *checker) ownedExpr(info *types.Info, e ast.Expr) (mode, *types.TypeName) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return 0, nil
+	}
+	if tn := namedOf(tv.Type); tn != nil {
+		if m, isOwned := c.owned[tn]; isOwned {
+			return m, tn
+		}
+	}
+	return 0, nil
+}
+
+// firstOwned finds the first sub-expression of e whose type is commit-owned
+// with at least the given mode (readsOK matches both modes), in source
+// order, or nil.
+func (c *checker) firstOwned(info *types.Info, e ast.Expr, _ mode) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		sub, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if _, owner := c.ownedExpr(info, sub); owner != nil {
+			found = sub
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) typeName(info *types.Info, e ast.Expr) string {
+	if _, tn := c.ownedExpr(info, e); tn != nil {
+		return tn.Name()
+	}
+	return "?"
+}
+
+// namedOf unwraps pointers and aliases to the underlying named type's
+// object.
+func namedOf(t types.Type) *types.TypeName {
+	for {
+		t = types.Unalias(t)
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj()
+		default:
+			return nil
+		}
+	}
+}

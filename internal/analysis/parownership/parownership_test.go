@@ -1,0 +1,12 @@
+package parownership_test
+
+import (
+	"testing"
+
+	"ascoma/internal/analysis/analysistest"
+	"ascoma/internal/analysis/parownership"
+)
+
+func TestParownership(t *testing.T) {
+	analysistest.RunProgram(t, parownership.Analyzer, "../testdata/src/parown")
+}

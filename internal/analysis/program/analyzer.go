@@ -1,0 +1,68 @@
+package program
+
+import (
+	"fmt"
+	"go/token"
+
+	"ascoma/internal/analysis"
+)
+
+// An Analyzer is a whole-program analysis: unlike analysis.Analyzer it sees
+// every package at once, plus the call graph, so it can state properties of
+// call chains rather than single functions.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and command-line flags.
+	Name string
+
+	// Doc is the one-paragraph documentation shown by `ascoma-vet help`.
+	Doc string
+
+	// Run applies the analysis to the loaded program.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one program analyzer with the loaded program and accepts
+// its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	// Report delivers one diagnostic.
+	Report func(analysis.Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(analysis.Diagnostic{
+		Pos:      pos,
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a diagnostic at pos is suppressed by the named
+// escape hatch (same line or line above, reason required), anywhere in the
+// program.
+func (p *Pass) Allowed(pos token.Pos, hatch string) bool {
+	return p.Prog.Allowed(pos, hatch)
+}
+
+// RunAnalyzers loads nothing itself: it applies each analyzer to an
+// already-loaded program and returns the collected diagnostics in report
+// order. Drivers sort before printing.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Prog:     prog,
+			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,961 @@
+package program
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ascoma/internal/analysis"
+)
+
+// A Func is one call-graph node: a declared function or method, or a
+// function literal.
+type Func struct {
+	Obj    *types.Func   // nil for literals
+	Decl   *ast.FuncDecl // nil for literals
+	Lit    *ast.FuncLit  // nil for declared functions
+	Pkg    *Package
+	Parent *Func // enclosing function, for literals
+	Edges  []Edge
+
+	litIndex int // ordinal of this literal within Parent, for naming
+}
+
+// An EdgeKind says how a call site was resolved.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call of a declared function, method, or
+	// immediately invoked literal.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a dynamic method call, resolved conservatively to
+	// every program type whose method set satisfies the interface.
+	EdgeInterface
+	// EdgeFuncValue is a call through a func-typed variable, field, or
+	// parameter, resolved by flow propagation (or, when flow loses track
+	// of the value, to every address-taken function of matching
+	// signature).
+	EdgeFuncValue
+)
+
+// An Edge is one resolved call site.
+type Edge struct {
+	Caller *Func
+	Callee *Func
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// Name renders the node for diagnostics: pkg.Fn, (pkg.T).Method, or
+// pkg.Fn·funcN for literals.
+func (f *Func) Name() string {
+	if f.Lit != nil {
+		return fmt.Sprintf("%s·func%d", f.Parent.Name(), f.litIndex)
+	}
+	if recv := f.Obj.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		return fmt.Sprintf("(%s).%s", types.TypeString(t, shortPkg), f.Obj.Name())
+	}
+	return shortPkg(f.Obj.Pkg()) + "." + f.Obj.Name()
+}
+
+func shortPkg(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	return p.Name()
+}
+
+// Pos returns the declaration position.
+func (f *Func) Pos() token.Pos {
+	if f.Lit != nil {
+		return f.Lit.Pos()
+	}
+	return f.Decl.Pos()
+}
+
+// Body returns the function body (nil for bodyless declarations).
+func (f *Func) Body() *ast.BlockStmt {
+	if f.Lit != nil {
+		return f.Lit.Body
+	}
+	return f.Decl.Body
+}
+
+// Directives returns the //ascoma: directives on the declaration's doc
+// comment. Literals carry none.
+func (f *Func) Directives() []analysis.Directive {
+	if f.Decl == nil {
+		return nil
+	}
+	return analysis.DeclDirectives(f.Decl.Doc)
+}
+
+// Directive looks up one directive by name on the declaration.
+func (f *Func) Directive(name string) (arg string, ok bool) {
+	for _, d := range f.Directives() {
+		if d.Name == name {
+			return d.Arg, true
+		}
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction.
+
+// A site is one flow cell for func values: a func-typed variable, field,
+// parameter, or a function's i-th result. funcs accumulates the function
+// values that may flow here; unknown marks contamination by a value the
+// analysis cannot track (the call sites reading such a site fall back to
+// signature matching over address-taken functions).
+type site struct {
+	funcs   []*Func
+	have    map[*Func]bool
+	unknown bool
+	succs   []*site
+}
+
+// resKey identifies a function's i-th result as a flow site. fn is a
+// *types.Func or *ast.FuncLit.
+type resKey struct {
+	fn  any
+	idx int
+}
+
+// A dynCall is a call through a func value, resolved after the fixpoint.
+type dynCall struct {
+	caller *Func
+	pos    token.Pos
+	site   *site // nil when the callee expression is untracked
+	sig    *types.Signature
+}
+
+// An ifaceCall is a dynamic method call, resolved against the program's
+// named types after loading.
+type ifaceCall struct {
+	caller *Func
+	pos    token.Pos
+	iface  *types.Interface
+	method string
+}
+
+type graphBuilder struct {
+	p         *Program
+	sites     map[any]*site // *types.Var | resKey
+	worklist  []*site
+	queued    map[*site]bool
+	addrTaken []*Func
+	addrSeen  map[*Func]bool
+	dynCalls  []dynCall
+	ifCalls   []ifaceCall
+}
+
+func (p *Program) buildGraph() error {
+	b := &graphBuilder{
+		p:        p,
+		sites:    make(map[any]*site),
+		queued:   make(map[*site]bool),
+		addrSeen: make(map[*Func]bool),
+	}
+
+	// Pass 1: index every declared function and method.
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				f := &Func{Obj: obj, Decl: fd, Pkg: pkg}
+				p.funcs = append(p.funcs, f)
+				p.funcByObj[obj] = f
+			}
+		}
+	}
+
+	// Pass 2: walk bodies — record call sites and flow constraints, and
+	// materialize literal nodes. Package-level variable initializers
+	// contribute flow (and address-taken seeds) but no edges.
+	for _, f := range append([]*Func(nil), p.funcs...) {
+		b.walkFunc(f)
+	}
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						b.valueSpec(pkgContext(pkg), vs)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: propagate func values to a fixpoint.
+	b.fixpoint()
+
+	// Pass 4: resolve the deferred dynamic and interface calls into edges.
+	b.resolveDynamic()
+	b.resolveInterfaces()
+	return nil
+}
+
+// pkgContext is a synthetic context for package-level initializers: flow is
+// tracked but edges are not attributed to any function.
+func pkgContext(pkg *Package) *Func { return &Func{Pkg: pkg} }
+
+// litNode returns (creating and walking on first sight) the node for a
+// function literal.
+func (b *graphBuilder) litNode(parent *Func, lit *ast.FuncLit) *Func {
+	if f, ok := b.p.funcByLit[lit]; ok {
+		return f
+	}
+	f := &Func{Lit: lit, Pkg: parent.Pkg, Parent: parent}
+	// Ordinal within the outermost declared parent, for stable names.
+	root := parent
+	for root.Parent != nil {
+		root = root.Parent
+	}
+	f.litIndex = 1
+	for _, g := range b.p.funcs {
+		if g.Lit != nil {
+			r := g.Parent
+			for r.Parent != nil {
+				r = r.Parent
+			}
+			if r == root {
+				f.litIndex++
+			}
+		}
+	}
+	b.p.funcByLit[lit] = f
+	b.p.funcs = append(b.p.funcs, f)
+	b.walkFunc(f)
+	return f
+}
+
+func (b *graphBuilder) walkFunc(f *Func) {
+	body := f.Body()
+	if body == nil {
+		return
+	}
+	// Named func-typed results flow into the function's result sites (so
+	// bare returns are covered).
+	if f.Decl != nil && f.Decl.Type.Results != nil {
+		sig := f.Obj.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			rv := sig.Results().At(i)
+			if rv.Name() != "" && isFuncType(rv.Type()) {
+				b.addEdgeFlow(b.varSite(rv), b.siteFor(resKey{f.Obj, i}))
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			b.litNode(f, n)
+			return false // the literal's body is walked as its own node
+		case *ast.CallExpr:
+			b.call(f, n)
+		case *ast.AssignStmt:
+			b.assign(f, n.Lhs, n.Rhs)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						b.valueSpec(f, vs)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			b.returns(f, n)
+		case *ast.CompositeLit:
+			b.composite(f, n)
+		case *ast.SendStmt:
+			b.escape(f, n.Value)
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Call sites.
+
+func (b *graphBuilder) call(f *Func, call *ast.CallExpr) {
+	info := f.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: a func value converted to another type (commonly an
+		// interface or a handler type) escapes tracking.
+		for _, arg := range call.Args {
+			b.escape(f, arg)
+		}
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			for _, arg := range call.Args {
+				b.escape(f, arg)
+			}
+		case *types.Func:
+			b.staticCall(f, call, obj)
+		case *types.Var:
+			b.dynamicCall(f, call, b.varSite(obj))
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if types.IsInterface(sel.Recv()) {
+					b.interfaceCall(f, call, sel.Recv(), fun.Sel.Name)
+					return
+				}
+				if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+					b.staticCall(f, call, obj)
+				}
+			case types.MethodExpr:
+				if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+					b.staticCall(f, call, obj)
+				}
+			case types.FieldVal:
+				if v, ok := sel.Obj().(*types.Var); ok {
+					b.dynamicCall(f, call, b.varSite(v))
+				}
+			}
+			return
+		}
+		// Package-qualified: pkg.F(...) or a package-level func variable.
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			b.staticCall(f, call, obj)
+		case *types.Var:
+			b.dynamicCall(f, call, b.varSite(obj))
+		}
+	case *ast.FuncLit:
+		callee := b.litNode(f, fun)
+		b.addEdge(f, call.Lparen, callee, EdgeStatic)
+		b.argFlowLit(f, call, fun)
+	default:
+		// Call of a call result, an indexed func slice, a type assertion…
+		var s *site
+		if ce, ok := fun.(*ast.CallExpr); ok {
+			s = b.resultSite(f, ce, 0)
+		}
+		sig, _ := info.Types[call.Fun].Type.Underlying().(*types.Signature)
+		b.dynCalls = append(b.dynCalls, dynCall{caller: f, pos: call.Lparen, site: s, sig: sig})
+	}
+}
+
+// staticCall records an edge to a declared function (when it belongs to the
+// program) and flows func-valued arguments into its parameters.
+func (b *graphBuilder) staticCall(f *Func, call *ast.CallExpr, obj *types.Func) {
+	obj = obj.Origin()
+	callee := b.p.funcByObj[obj]
+	if callee != nil {
+		b.addEdge(f, call.Lparen, callee, EdgeStatic)
+	}
+	if callee == nil {
+		// External (stdlib) callee: func arguments escape tracking.
+		for _, arg := range call.Args {
+			b.escape(f, arg)
+		}
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		var param *types.Var
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			param = sig.Params().At(sig.Params().Len() - 1)
+			// Elements of a variadic func slice are untracked.
+			if !isFuncType(param.Type()) {
+				b.escape(f, arg)
+				continue
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i)
+		default:
+			continue
+		}
+		b.flowInto(f, b.varSite(param), arg)
+	}
+}
+
+// argFlowLit flows arguments of an immediately invoked literal into its
+// parameters.
+func (b *graphBuilder) argFlowLit(f *Func, call *ast.CallExpr, lit *ast.FuncLit) {
+	sig, ok := f.Pkg.Info.Types[lit].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i < sig.Params().Len() {
+			b.flowInto(f, b.varSite(sig.Params().At(i)), arg)
+		}
+	}
+}
+
+func (b *graphBuilder) dynamicCall(f *Func, call *ast.CallExpr, s *site) {
+	sig, _ := f.Pkg.Info.Types[call.Fun].Type.Underlying().(*types.Signature)
+	b.dynCalls = append(b.dynCalls, dynCall{caller: f, pos: call.Lparen, site: s, sig: sig})
+	for _, arg := range call.Args {
+		b.escape(f, arg) // callee unknown until the fixpoint: args escape
+	}
+}
+
+func (b *graphBuilder) interfaceCall(f *Func, call *ast.CallExpr, recv types.Type, method string) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	b.ifCalls = append(b.ifCalls, ifaceCall{caller: f, pos: call.Lparen, iface: iface, method: method})
+	for _, arg := range call.Args {
+		b.escape(f, arg)
+	}
+}
+
+func (b *graphBuilder) addEdge(f *Func, pos token.Pos, callee *Func, kind EdgeKind) {
+	if f.Obj == nil && f.Lit == nil {
+		return // package-level initializer context
+	}
+	f.Edges = append(f.Edges, Edge{Caller: f, Callee: callee, Pos: pos, Kind: kind})
+}
+
+// ---------------------------------------------------------------------------
+// Flow constraints.
+
+func isFuncType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+func (b *graphBuilder) siteFor(key any) *site {
+	if s, ok := b.sites[key]; ok {
+		return s
+	}
+	s := &site{have: make(map[*Func]bool)}
+	b.sites[key] = s
+	return s
+}
+
+// varSite returns the flow site for a func-typed variable (local, param,
+// field, or package-level), or nil for non-func variables.
+func (b *graphBuilder) varSite(v *types.Var) *site {
+	if v == nil || !isFuncType(v.Type()) {
+		return nil
+	}
+	return b.siteFor(v)
+}
+
+// resultSite returns the site of the i-th result of an internal static
+// call, or nil.
+func (b *graphBuilder) resultSite(f *Func, call *ast.CallExpr, i int) *site {
+	obj := b.staticCallee(f, call)
+	if obj == nil {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if i >= sig.Results().Len() || !isFuncType(sig.Results().At(i).Type()) {
+		return nil
+	}
+	return b.siteFor(resKey{obj, i})
+}
+
+// staticCallee resolves a call expression to a program-internal declared
+// function, or nil.
+func (b *graphBuilder) staticCallee(f *Func, call *ast.CallExpr) *types.Func {
+	info := f.Pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+			return nil
+		}
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	fn = fn.Origin()
+	if b.p.funcByObj[fn] == nil {
+		return nil
+	}
+	return fn
+}
+
+// funcValues returns the function nodes an expression evaluates to
+// directly: a literal, a named function, or a (possibly bound) method.
+func (b *graphBuilder) funcValues(f *Func, e ast.Expr) []*Func {
+	info := f.Pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return []*Func{b.litNode(f, e)}
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			if node := b.p.funcByObj[fn.Origin()]; node != nil {
+				return []*Func{node}
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			if node := b.p.funcByObj[fn.Origin()]; node != nil {
+				return []*Func{node}
+			}
+		}
+	}
+	return nil
+}
+
+// exprSite returns the flow site an expression reads from, or nil.
+func (b *graphBuilder) exprSite(f *Func, e ast.Expr) *site {
+	info := f.Pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok {
+			return b.varSite(v)
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.ObjectOf(e.Sel).(*types.Var); ok {
+			return b.varSite(v)
+		}
+	case *ast.CallExpr:
+		return b.resultSite(f, e, 0)
+	}
+	return nil
+}
+
+// escape records that any function value produced by e is address-taken in
+// a way flow cannot follow.
+func (b *graphBuilder) escape(f *Func, e ast.Expr) {
+	for _, fn := range b.funcValues(f, e) {
+		if !b.addrSeen[fn] {
+			b.addrSeen[fn] = true
+			b.addrTaken = append(b.addrTaken, fn)
+		}
+	}
+}
+
+// flowInto adds the constraint "src flows into dst".
+func (b *graphBuilder) flowInto(f *Func, dst *site, src ast.Expr) {
+	fv := b.funcValues(f, src)
+	if dst == nil {
+		for _, fn := range fv {
+			if !b.addrSeen[fn] {
+				b.addrSeen[fn] = true
+				b.addrTaken = append(b.addrTaken, fn)
+			}
+		}
+		return
+	}
+	if len(fv) > 0 {
+		b.seed(dst, fv)
+		return
+	}
+	switch src := ast.Unparen(src).(type) {
+	case *ast.CompositeLit:
+		return // fields handled by the composite visitor
+	case *ast.CallExpr:
+		if s := b.resultSite(f, src, 0); s != nil {
+			b.addEdgeFlow(s, dst)
+			return
+		}
+		b.markUnknown(dst)
+		return
+	}
+	if ss := b.exprSite(f, src); ss != nil {
+		b.addEdgeFlow(ss, dst)
+		return
+	}
+	b.markUnknown(dst)
+}
+
+func (b *graphBuilder) assign(f *Func, lhs, rhs []ast.Expr) {
+	switch {
+	case len(lhs) == len(rhs):
+		for i := range lhs {
+			b.assignOne(f, lhs[i], rhs[i])
+		}
+	case len(rhs) == 1:
+		// Tuple assignment: v1, v2 := call() / x.(T) / <-ch / m[k].
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			if obj := b.staticCallee(f, call); obj != nil {
+				for i, l := range lhs {
+					if ds := b.lhsSite(f, l); ds != nil {
+						b.addEdgeFlow(b.siteFor(resKey{obj, i}), ds)
+					}
+				}
+				return
+			}
+		}
+		for _, l := range lhs {
+			if ds := b.lhsSite(f, l); ds != nil {
+				b.markUnknown(ds)
+			}
+		}
+	}
+}
+
+func (b *graphBuilder) assignOne(f *Func, lhs, rhs ast.Expr) {
+	ds := b.lhsSite(f, lhs)
+	if ds == nil {
+		// Untracked destination (slice element, map value, dereference):
+		// function values stored there escape.
+		b.escape(f, rhs)
+		return
+	}
+	b.flowInto(f, ds, rhs)
+}
+
+// lhsSite resolves an assignment destination to a site, or nil for
+// destinations flow does not model (indexing, dereference, blank).
+func (b *graphBuilder) lhsSite(f *Func, lhs ast.Expr) *site {
+	info := f.Pkg.Info
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return nil
+		}
+		if v, ok := info.ObjectOf(lhs).(*types.Var); ok {
+			return b.varSite(v)
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.ObjectOf(lhs.Sel).(*types.Var); ok {
+			return b.varSite(v)
+		}
+	}
+	return nil
+}
+
+func isFuncExpr(f *Func, e ast.Expr) bool {
+	tv, ok := f.Pkg.Info.Types[e]
+	return ok && tv.Type != nil && isFuncType(tv.Type)
+}
+
+func (b *graphBuilder) valueSpec(f *Func, vs *ast.ValueSpec) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	lhs := make([]ast.Expr, len(vs.Names))
+	for i, n := range vs.Names {
+		lhs[i] = n
+	}
+	b.assign(f, lhs, vs.Values)
+}
+
+func (b *graphBuilder) returns(f *Func, ret *ast.ReturnStmt) {
+	var key any
+	switch {
+	case f.Obj != nil:
+		key = f.Obj
+	case f.Lit != nil:
+		key = f.Lit
+	default:
+		return
+	}
+	var sig *types.Signature
+	if f.Obj != nil {
+		sig = f.Obj.Type().(*types.Signature)
+	} else if tv, ok := f.Pkg.Info.Types[f.Lit]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, e := range ret.Results {
+		if isFuncType(sig.Results().At(i).Type()) {
+			b.flowInto(f, b.siteFor(resKey{key, i}), e)
+		}
+	}
+}
+
+func (b *graphBuilder) composite(f *Func, cl *ast.CompositeLit) {
+	tv, ok := f.Pkg.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		// Slice/array/map of funcs: elements escape tracking.
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			b.escape(f, el)
+		}
+		return
+	}
+	for i, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if field := fieldByName(st, key.Name); field != nil {
+				b.flowInto(f, b.varSite(field), kv.Value)
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			b.flowInto(f, b.varSite(st.Field(i)), el)
+		}
+	}
+}
+
+func fieldByName(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint and resolution.
+
+func (b *graphBuilder) seed(s *site, funcs []*Func) {
+	changed := false
+	for _, fn := range funcs {
+		if !s.have[fn] {
+			s.have[fn] = true
+			s.funcs = append(s.funcs, fn)
+			changed = true
+		}
+	}
+	if changed {
+		b.push(s)
+	}
+}
+
+func (b *graphBuilder) markUnknown(s *site) {
+	if !s.unknown {
+		s.unknown = true
+		b.push(s)
+	}
+}
+
+func (b *graphBuilder) addEdgeFlow(src, dst *site) {
+	if src == nil || dst == nil || src == dst {
+		return
+	}
+	for _, s := range src.succs {
+		if s == dst {
+			return
+		}
+	}
+	src.succs = append(src.succs, dst)
+	if len(src.funcs) > 0 || src.unknown {
+		b.push(src)
+	}
+}
+
+func (b *graphBuilder) push(s *site) {
+	if !b.queued[s] {
+		b.queued[s] = true
+		b.worklist = append(b.worklist, s)
+	}
+}
+
+func (b *graphBuilder) fixpoint() {
+	for len(b.worklist) > 0 {
+		s := b.worklist[0]
+		b.worklist = b.worklist[1:]
+		b.queued[s] = false
+		for _, succ := range s.succs {
+			changed := false
+			for _, fn := range s.funcs {
+				if !succ.have[fn] {
+					succ.have[fn] = true
+					succ.funcs = append(succ.funcs, fn)
+					changed = true
+				}
+			}
+			if s.unknown && !succ.unknown {
+				succ.unknown = true
+				changed = true
+			}
+			if changed {
+				b.push(succ)
+			}
+		}
+	}
+}
+
+func (b *graphBuilder) resolveDynamic() {
+	for _, dc := range b.dynCalls {
+		var callees []*Func
+		if dc.site != nil && !dc.site.unknown && len(dc.site.funcs) > 0 {
+			callees = dc.site.funcs
+		} else {
+			// Flow lost track of the value: conservatively, every
+			// address-taken function of matching signature.
+			for _, fn := range b.addrTaken {
+				if sigMatches(dc.sig, fn) {
+					callees = append(callees, fn)
+				}
+			}
+		}
+		for _, callee := range callees {
+			b.addEdge(dc.caller, dc.pos, callee, EdgeFuncValue)
+		}
+	}
+}
+
+func (b *graphBuilder) resolveInterfaces() {
+	type implKey struct {
+		iface  *types.Interface
+		method string
+	}
+	memo := make(map[implKey][]*Func)
+	for _, ic := range b.ifCalls {
+		key := implKey{ic.iface, ic.method}
+		impls, ok := memo[key]
+		if !ok {
+			for _, tn := range b.p.namedTypes {
+				T := tn.Type()
+				if named, isNamed := T.(*types.Named); isNamed && named.TypeParams() != nil && named.TypeParams().Len() > 0 {
+					continue // generic: only instantiations implement anything
+				}
+				if types.IsInterface(T) {
+					continue
+				}
+				if !types.Implements(T, ic.iface) && !types.Implements(types.NewPointer(T), ic.iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(T), true, tn.Pkg(), ic.method)
+				if fn, isFn := obj.(*types.Func); isFn {
+					if node := b.p.funcByObj[fn.Origin()]; node != nil {
+						impls = append(impls, node)
+					}
+				}
+			}
+			memo[key] = impls
+		}
+		for _, callee := range impls {
+			b.addEdge(ic.caller, ic.pos, callee, EdgeInterface)
+		}
+	}
+}
+
+// sigMatches reports whether a candidate function's signature (ignoring any
+// receiver) is identical to sig.
+func sigMatches(sig *types.Signature, fn *Func) bool {
+	if sig == nil {
+		return true
+	}
+	var cand *types.Signature
+	if fn.Obj != nil {
+		cand = fn.Obj.Type().(*types.Signature)
+	} else if tv, ok := fn.Pkg.Info.Types[fn.Lit]; ok {
+		cand, _ = tv.Type.(*types.Signature)
+	}
+	if cand == nil {
+		return false
+	}
+	if cand.Variadic() != sig.Variadic() {
+		return false
+	}
+	return tupleIdentical(cand.Params(), sig.Params()) && tupleIdentical(cand.Results(), sig.Results())
+}
+
+func tupleIdentical(a, b *types.Tuple) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !types.Identical(a.At(i).Type(), b.At(i).Type()) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Reachability.
+
+// A Reachability is the transitive closure of the call graph from a set of
+// roots, with predecessor edges kept for diagnostic call paths.
+type Reachability struct {
+	Funcs []*Func // BFS order, roots first
+	in    map[*Func]bool
+	prev  map[*Func]Edge
+}
+
+// Reachable computes the closure from roots. skipEdge, when non-nil, cuts
+// individual edges (both the analyzer's graph-cut directives and call-site
+// escape hatches are expressed through it).
+func (p *Program) Reachable(roots []*Func, skipEdge func(Edge) bool) *Reachability {
+	r := &Reachability{
+		in:   make(map[*Func]bool),
+		prev: make(map[*Func]Edge),
+	}
+	var queue []*Func
+	for _, root := range roots {
+		if root != nil && !r.in[root] {
+			r.in[root] = true
+			queue = append(queue, root)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		r.Funcs = append(r.Funcs, f)
+		for _, e := range f.Edges {
+			if e.Callee == nil || r.in[e.Callee] {
+				continue
+			}
+			if skipEdge != nil && skipEdge(e) {
+				continue
+			}
+			r.in[e.Callee] = true
+			r.prev[e.Callee] = e
+			queue = append(queue, e.Callee)
+		}
+	}
+	return r
+}
+
+// Contains reports whether f is in the closure.
+func (r *Reachability) Contains(f *Func) bool { return r.in[f] }
+
+// Path renders the call chain from a root to f for diagnostics, e.g.
+// "machine.runNode → machine.access → stats.Record".
+func (r *Reachability) Path(f *Func) string {
+	var names []string
+	for {
+		names = append(names, f.Name())
+		e, ok := r.prev[f]
+		if !ok {
+			break
+		}
+		f = e.Caller
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}

@@ -1,0 +1,419 @@
+// Package program loads every package of the repository in one shot and
+// builds the interprocedural facts — a call graph with static, interface,
+// and func-value edges, plus a program-wide directive index — that the
+// whole-repo analyzers (parownership, hotpathflow, dirlint) consume. The
+// per-package unit checker cannot see across compilation units, so the
+// invariants that live in call chains (which goroutine may reach which
+// state, whether a //ascoma:hotpath root transitively allocates) are proved
+// here instead.
+//
+// Loading reuses the srcimporter harness the analysistest corpora already
+// depend on: repo packages are parsed from source, topologically sorted by
+// their intra-module imports, and type-checked against a shared
+// source-importer for the standard library, so the engine works offline
+// with nothing but the toolchain.
+package program
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ascoma/internal/analysis"
+)
+
+// A Package is one type-checked repo package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Program holds every package of one module (or one test corpus tree)
+// plus the interprocedural indexes built over them.
+type Program struct {
+	Fset       *token.FileSet
+	Pkgs       []*Package // topological order (dependencies first)
+	ModulePath string
+	Root       string
+
+	funcs      []*Func
+	funcByObj  map[*types.Func]*Func
+	funcByLit  map[*ast.FuncLit]*Func
+	namedTypes []*types.TypeName
+
+	directives map[lineKey][]analysis.Directive
+	typeDirs   []TypeDirective
+}
+
+// A TypeDirective is a //ascoma: directive attached to a type declaration.
+type TypeDirective struct {
+	Obj *types.TypeName
+	Dir analysis.Directive
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Load loads the module rooted at root (the directory containing go.mod):
+// every package directory is parsed (testdata, vendor, dot/underscore and
+// tool directories are skipped; _test.go files are excluded) and
+// type-checked, and the call graph is built.
+func Load(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return load(root, modpath)
+}
+
+// LoadDir loads a test-corpus tree: the directory itself and each
+// subdirectory holding .go files becomes one package, with import paths
+// rooted at prefix (so a fixture package in dir/state imports as
+// "prefix/state"). Used by analysistest for multi-package fixtures.
+func LoadDir(root, prefix string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	return load(root, prefix)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", fmt.Errorf("program: not a module root: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("program: no module line in %s", gomod)
+}
+
+func load(root, modpath string) (*Program, error) {
+	p := &Program{
+		Fset:       token.NewFileSet(),
+		ModulePath: modpath,
+		Root:       root,
+		funcByObj:  make(map[*types.Func]*Func),
+		funcByLit:  make(map[*ast.FuncLit]*Func),
+		directives: make(map[lineKey][]analysis.Directive),
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := p.parseDir(root, modpath, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("program: no packages under %s", root)
+	}
+
+	ordered, err := topoSort(pkgs, modpath)
+	if err != nil {
+		return nil, err
+	}
+
+	// Type-check in dependency order so intra-module imports resolve from
+	// the packages checked so far; everything else comes from the shared
+	// stdlib source importer.
+	repo := make(map[string]*types.Package, len(ordered))
+	std := importer.ForCompiler(p.Fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if tp, ok := repo[path]; ok {
+			return tp, nil
+		}
+		return std.Import(path)
+	})
+	for _, pkg := range ordered {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(pkg.Path, p.Fset, pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("program: type-checking %s: %v", pkg.Path, err)
+		}
+		pkg.Pkg = tp
+		pkg.Info = info
+		repo[pkg.Path] = tp
+	}
+	p.Pkgs = ordered
+
+	p.indexDirectives()
+	p.indexNamedTypes()
+	if err := p.buildGraph(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// packageDirs enumerates candidate package directories under root in
+// deterministic (lexical) order.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" || name == ".bin" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil if
+// the directory holds no production Go files.
+func (p *Program) parseDir(root, modpath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modpath
+	if rel != "." {
+		path = modpath + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: path, Dir: dir, Files: files}, nil
+}
+
+// topoSort orders packages dependencies-first by their intra-module
+// imports.
+func topoSort(pkgs []*Package, modpath string) ([]*Package, error) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, pkg := range pkgs {
+		byPath[pkg.Path] = pkg
+	}
+	var (
+		ordered []*Package
+		state   = make(map[*Package]int) // 0 unvisited, 1 visiting, 2 done
+		visit   func(*Package) error
+	)
+	visit = func(pkg *Package) error {
+		switch state[pkg] {
+		case 1:
+			return fmt.Errorf("program: import cycle through %s", pkg.Path)
+		case 2:
+			return nil
+		}
+		state[pkg] = 1
+		for _, dep := range moduleImports(pkg, modpath) {
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[pkg] = 2
+		ordered = append(ordered, pkg)
+		return nil
+	}
+	for _, pkg := range pkgs {
+		if err := visit(pkg); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// moduleImports returns the sorted set of intra-module import paths of pkg.
+func moduleImports(pkg *Package, modpath string) []string {
+	seen := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == modpath || strings.HasPrefix(path, modpath+"/") {
+				seen[path] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for path := range seen {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// indexDirectives builds the program-wide line index of //ascoma: comments
+// used by Allowed and by dirlint.
+func (p *Program) indexDirectives() {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := analysis.ParseDirective(c)
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					p.directives[k] = append(p.directives[k], d)
+				}
+			}
+		}
+	}
+	// Type-level directives: a doc comment on the TypeSpec, or on a
+	// single-spec GenDecl.
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					obj, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if obj == nil {
+						continue
+					}
+					for _, d := range analysis.DeclDirectives(doc) {
+						p.typeDirs = append(p.typeDirs, TypeDirective{Obj: obj, Dir: d})
+					}
+				}
+			}
+		}
+	}
+}
+
+// indexNamedTypes collects every named type declared in the program, in
+// deterministic order, for interface-dispatch resolution.
+func (p *Program) indexNamedTypes() {
+	for _, pkg := range p.Pkgs {
+		scope := pkg.Pkg.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				p.namedTypes = append(p.namedTypes, tn)
+			}
+		}
+	}
+}
+
+// Allowed reports whether a diagnostic at pos is suppressed by the named
+// escape hatch, using the same line rules as Pass.Allowed but over the
+// whole program.
+func (p *Program) Allowed(pos token.Pos, hatch string) bool {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range p.directives[lineKey{position.Filename, line}] {
+			if d.Name == hatch && d.Arg != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TypesWithDirective returns the type-level directives with the given name,
+// in declaration order.
+func (p *Program) TypesWithDirective(name string) []TypeDirective {
+	var out []TypeDirective
+	for _, td := range p.typeDirs {
+		if td.Dir.Name == name {
+			out = append(out, td)
+		}
+	}
+	return out
+}
+
+// FuncsWithDirective returns the declared functions annotated with the
+// given directive, in program order.
+func (p *Program) FuncsWithDirective(name string) []*Func {
+	var out []*Func
+	for _, f := range p.funcs {
+		if _, ok := f.Directive(name); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Funcs returns every function and function literal in the program, in
+// deterministic program order.
+func (p *Program) Funcs() []*Func { return p.funcs }
+
+// FuncOf returns the graph node for a declared function or method, or nil.
+func (p *Program) FuncOf(obj *types.Func) *Func {
+	if obj == nil {
+		return nil
+	}
+	return p.funcByObj[obj.Origin()]
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

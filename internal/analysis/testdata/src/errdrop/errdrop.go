@@ -1,0 +1,45 @@
+// Package errdrop is the test corpus for the errdrop analyzer: statement
+// calls that silently discard an error result.
+package errdrop
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func save() error                { return errors.New("boom") }
+func measure() (int, error)      { return 0, errors.New("boom") }
+func count() int                 { return 0 }
+func report(w *strings.Builder)  { w.WriteString("ok") } // vacuous error: ok
+func buffer(b *bytes.Buffer)     { b.WriteByte('x') }    // vacuous error: ok
+func parse(fs *flag.FlagSet)     { fs.Parse(nil) }       // ExitOnError: ok
+func logf(format string, args ...any) {
+	fmt.Printf(format, args...) // fmt family: ok
+}
+
+func dropped() {
+	save()    // want `result of save includes an error that is discarded`
+	measure() // want `result of measure includes an error that is discarded`
+	count()   // no error result: ok
+	go save() // want `result of save includes an error that is discarded`
+}
+
+func handled() error {
+	if err := save(); err != nil {
+		return err
+	}
+	_ = save()       // explicit discard: ok
+	_, _ = measure() // explicit discard: ok
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred cleanup: ok
+	//ascoma:allow-errdrop best-effort cache warm; a miss costs one refetch
+	save() // hatched with a reason: ok
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package alloc is reached cross-package from the corpus's hot root; the
+// discipline does not stop at package boundaries.
+package alloc
+
+// Grow allocates on a path the root made hot.
+func Grow(n int) int {
+	buf := make([]int, n) // want `hot via .*step → alloc\.Grow: make allocates`
+	return len(buf)
+}

@@ -101,3 +101,23 @@ func sliceOrder(s []string) []string {
 	sort.Strings(out)
 	return out
 }
+
+// jobFarm mirrors internal/jobs, newly added to DeterministicPackages: a
+// manager tracking in-flight work must order its walk and stamp nothing
+// with the wall clock, or identical runs produce different dispatch logs.
+type jobFarm struct {
+	inflight map[int]string
+}
+
+func (f *jobFarm) drain() []string {
+	var done []string
+	for _, name := range f.inflight { // want `map iteration order is randomized`
+		done = append(done, name)
+	}
+	sort.Strings(done)
+	return done
+}
+
+func (f *jobFarm) stamp() int64 {
+	return time.Now().UnixNano() // want `call to time\.Now`
+}

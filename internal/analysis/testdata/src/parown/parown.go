@@ -1,0 +1,54 @@
+// Package parown is the test corpus for the goroutine-ownership analyzer.
+// The shape mirrors the production parallel core: a queue runs a closure
+// handed to it at construction, so the worker closure is connected to the
+// //ascoma:par-worker root only through a func-typed field — exactly the
+// edge the call-graph engine's flow propagation exists to find.
+package parown
+
+import "parown/state"
+
+// queue mimics par.Queue: the thunk stored at construction runs on worker
+// goroutines.
+type queue struct{ task func(int) }
+
+func newQueue(task func(int)) *queue { return &queue{task: task} }
+
+// loop is the worker entry point; whatever reached q.task runs here.
+//
+//ascoma:par-worker
+func (q *queue) loop() { q.task(0) }
+
+// advance is commit-only bookkeeping.
+//
+//ascoma:par-commit
+func advance(m *state.Machine) { m.Clock++ } // want `commit-only function parown\.advance is reachable from worker code`
+
+// retire is commit-only too, but the one worker edge to it is exempted.
+//
+//ascoma:par-commit
+func retire(m *state.Machine) { m.Clock++ }
+
+// setup is cut out of the worker closure wholesale: the runner only calls
+// it between passes, never concurrently.
+//
+//ascoma:par-exempt runs between passes on the commit goroutine, never concurrently
+func setup(m *state.Machine) { m.Commit() }
+
+// build wires the worker thunk. Every violation below is reported against
+// the closure with the path that makes it worker code.
+func build(m *state.Machine) *queue {
+	return newQueue(func(i int) {
+		_ = m.Clock        // read of reads-ok state: legal
+		_ = m.Probe()      // worker-safe method through owned state: legal
+		m.Clock = int64(i) // want `worker code \(via .*loop.*\) writes commit-owned Machine state`
+		p := &m.Clock      // want `worker code \(via .*loop.*\) takes the address of commit-owned Machine state`
+		_ = p
+		m.Commit()            // want `worker code \(via .*loop.*\) calls commit-only \(state\.Machine\)\.Commit` `calls method Commit through commit-owned Machine state`
+		advance(m)            // want `worker code \(via .*loop.*\) calls commit-only parown\.advance`
+		r := m.Nodes[0].Refs  // want `worker code \(via .*loop.*\) touches commit-owned Node state`
+		_ = r
+		setup(m) // exempted callee: the whole subtree is cut
+		//ascoma:par-exempt arming hand-off; the commit goroutine owns the thunk here
+		retire(m) // exempted edge: cut and suppressed
+	})
+}

@@ -1,0 +1,29 @@
+// Package state holds the corpus's commit-owned types, in a separate
+// package so the ownership rules are proved across package boundaries.
+package state
+
+// Machine is commit-owned with the reads-ok concession: worker-reachable
+// code may read its fields, but writes, address-taking, and method calls
+// through it are violations.
+//
+//ascoma:par-commit-state reads-ok
+type Machine struct {
+	Clock int64
+	Nodes []Node
+}
+
+// Node is strictly commit-owned: worker-reachable code must not touch it.
+//
+//ascoma:par-commit-state
+type Node struct{ Refs int64 }
+
+// Commit replays the sequential event order; commit goroutine only.
+//
+//ascoma:par-commit
+func (m *Machine) Commit() { m.Clock++ } // want `commit-only function \(state\.Machine\)\.Commit is reachable from worker code`
+
+// Probe is annotated worker-safe, so calling it through owned state is
+// legal — it is how the corpus's workers are meant to observe the clock.
+//
+//ascoma:par-worker
+func (m *Machine) Probe() int64 { return m.Clock }

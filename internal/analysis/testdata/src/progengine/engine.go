@@ -1,0 +1,32 @@
+// Package progengine is a minimal fixture for the call-graph engine's unit
+// tests: one interface with two implementations, a func value laundered
+// through a struct field, and a directive to index.
+package progengine
+
+type doer interface{ Do() }
+
+type impl1 struct{}
+
+func (impl1) Do() {}
+
+type impl2 struct{}
+
+func (impl2) Do() {}
+
+// dispatch calls through the interface; the engine must resolve the edge
+// to every implementing type in the program.
+func dispatch(d doer) { d.Do() }
+
+type holder struct{ fn func(int) }
+
+// indirect calls through a field the closure below flowed into.
+func indirect(h *holder) { h.fn(1) }
+
+func wire() *holder {
+	return &holder{fn: func(i int) { helper(i) }}
+}
+
+func helper(i int) {}
+
+//ascoma:hotpath
+func root() { dispatch(impl1{}) }

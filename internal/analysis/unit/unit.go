@@ -9,10 +9,17 @@
 //	           an import map, and compiler-produced export data for every
 //	           dependency — so type-checking here is exact and fast)
 //
-// Invoked any other way, the driver re-executes itself through the go
-// command (`go vet -vettool=<self> <packages>`), which provides package
-// loading, build caching, and parallelism for free; `ascoma-vet ./...`
-// therefore works standalone from a clean checkout.
+// Invoked any other way, the driver first runs the whole-program analyzers
+// (parownership, hotpathflow, dirlint — they need every package and the
+// call graph at once, which the per-unit protocol cannot provide) over the
+// enclosing module, then re-executes itself through the go command
+// (`go vet -vettool=<self> <packages>`) for the per-package analyzers,
+// which gets package loading, build caching, and parallelism for free;
+// `ascoma-vet ./...` therefore works standalone from a clean checkout and
+// is the invocation make vet uses.
+//
+// Diagnostics are always emitted sorted by file, line, then column, so CI
+// logs and golden vet output are stable across runs.
 package unit
 
 import (
@@ -30,9 +37,11 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 
 	"ascoma/internal/analysis"
+	"ascoma/internal/analysis/program"
 )
 
 // config mirrors the fields of the JSON compilation-unit description the
@@ -56,15 +65,21 @@ type config struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// Main runs the driver and exits.
-func Main(analyzers ...*analysis.Analyzer) {
+// Main runs the driver and exits. unitAnalyzers run per compilation unit
+// under the go vet protocol; programAnalyzers run once over the whole
+// module in standalone mode (the .cfg protocol has no whole-program view,
+// so their selection flags are accepted but inert there).
+func Main(unitAnalyzers []*analysis.Analyzer, programAnalyzers []*program.Analyzer) {
 	progname := filepath.Base(os.Args[0])
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	version := fs.String("V", "", "print version and exit (-V=full, used by the go command)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (used by the go command)")
-	selected := make(map[string]*bool, len(analyzers))
-	for _, a := range analyzers {
+	selected := make(map[string]*bool, len(unitAnalyzers)+len(programAnalyzers))
+	for _, a := range unitAnalyzers {
+		selected[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
+	}
+	for _, a := range programAnalyzers {
 		selected[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
 	}
 	fs.Usage = func() {
@@ -95,28 +110,38 @@ func Main(analyzers ...*analysis.Analyzer) {
 		any = any || *on
 	}
 	if any {
-		var keep []*analysis.Analyzer
-		for _, a := range analyzers {
+		var keepUnit []*analysis.Analyzer
+		for _, a := range unitAnalyzers {
 			if *selected[a.Name] {
-				keep = append(keep, a)
+				keepUnit = append(keepUnit, a)
 			}
 		}
-		analyzers = keep
+		unitAnalyzers = keepUnit
+		var keepProg []*program.Analyzer
+		for _, a := range programAnalyzers {
+			if *selected[a.Name] {
+				keepProg = append(keepProg, a)
+			}
+		}
+		programAnalyzers = keepProg
 	}
 
 	args := fs.Args()
 	switch {
 	case len(args) == 1 && args[0] == "help":
 		fmt.Printf("%s is the AS-COMA repository's analyzer suite. Analyzers:\n\n", progname)
-		for _, a := range analyzers {
+		for _, a := range unitAnalyzers {
 			fmt.Printf("  %-16s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range programAnalyzers {
+			fmt.Printf("  %-16s %s (whole-program)\n", a.Name, a.Doc)
 		}
 		fmt.Printf("\nRun it standalone (%s ./...) or as go vet -vettool=$(which %s) ./...\n", progname, progname)
 		os.Exit(0)
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		os.Exit(runUnit(progname, args[0], analyzers))
+		os.Exit(runUnit(progname, args[0], unitAnalyzers))
 	default:
-		os.Exit(standalone(progname, fs, args))
+		os.Exit(standalone(progname, fs, args, unitAnalyzers, programAnalyzers))
 	}
 }
 
@@ -136,7 +161,7 @@ func printVersion(progname string) {
 	}
 	defer f.Close()
 	h := sha256.New()
-	io.Copy(h, f)
+	_, _ = io.Copy(h, f) // a short read only degrades the fingerprint
 	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:16])
 }
 
@@ -157,13 +182,61 @@ func printFlagsJSON(fs *flag.FlagSet) {
 		out = append(out, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
 	})
 	data, _ := json.MarshalIndent(out, "", "\t")
-	os.Stdout.Write(data)
+	_, _ = os.Stdout.Write(data)
 	fmt.Println()
 }
 
-// standalone re-executes through go vet so the go command does package
-// loading and caching.
-func standalone(progname string, fs *flag.FlagSet, patterns []string) int {
+// sortDiagnostics orders findings by file, line, column, then message, so
+// output is byte-stable run to run.
+func sortDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Category != diags[j].Category {
+			return diags[i].Category < diags[j].Category
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}
+
+func printDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", posn, d.Message, d.Category)
+	}
+}
+
+// standalone runs the whole-program analyzers over the enclosing module,
+// then re-executes through go vet so the go command drives the per-unit
+// analyzers with package loading and caching.
+func standalone(progname string, fs *flag.FlagSet, patterns []string, unitAnalyzers []*analysis.Analyzer, programAnalyzers []*program.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exit := 0
+	if len(programAnalyzers) > 0 {
+		code, err := runProgramAnalyzers(patterns, programAnalyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		if code != 0 {
+			exit = code
+		}
+	}
+	if len(unitAnalyzers) == 0 {
+		return exit
+	}
+
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
@@ -175,9 +248,6 @@ func standalone(progname string, fs *flag.FlagSet, patterns []string) int {
 			goArgs = append(goArgs, fmt.Sprintf("-%s=%s", f.Name, f.Value))
 		}
 	})
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 	goArgs = append(goArgs, patterns...)
 	cmd := exec.Command("go", goArgs...)
 	cmd.Stdout = os.Stdout
@@ -185,12 +255,117 @@ func standalone(progname string, fs *flag.FlagSet, patterns []string) int {
 	cmd.Stdin = os.Stdin
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
-			return ee.ExitCode()
+			if code := ee.ExitCode(); code != 0 {
+				return code
+			}
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		return 1
 	}
-	return 0
+	return exit
+}
+
+// runProgramAnalyzers loads the module enclosing the working directory and
+// applies the whole-program analyzers, keeping diagnostics whose file falls
+// inside a package matched by the patterns.
+func runProgramAnalyzers(patterns []string, analyzers []*program.Analyzer) (int, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		// Outside a module there is no program to load; the per-unit
+		// analyzers still run through go vet.
+		fmt.Fprintf(os.Stderr, "warning: %v; skipping whole-program analyzers\n", err)
+		return 0, nil
+	}
+	prog, err := program.Load(root)
+	if err != nil {
+		return 0, err
+	}
+	diags, err := program.RunAnalyzers(prog, analyzers)
+	if err != nil {
+		return 0, err
+	}
+
+	match := patternMatcher(prog.ModulePath, patterns)
+	keepDirs := make(map[string]bool)
+	for _, pkg := range prog.Pkgs {
+		if match(pkg.Path) {
+			keepDirs[pkg.Dir] = true
+		}
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if keepDirs[filepath.Dir(prog.Fset.Position(d.Pos).Filename)] {
+			kept = append(kept, d)
+		}
+	}
+	sortDiagnostics(prog.Fset, kept)
+	printDiagnostics(prog.Fset, kept)
+	if len(kept) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// patternMatcher interprets go-style package patterns ("./...",
+// "./internal/machine", "ascoma/internal/...") against import paths.
+func patternMatcher(modpath string, patterns []string) func(string) bool {
+	type rule struct {
+		path    string
+		subtree bool
+	}
+	var rules []rule
+	for _, p := range patterns {
+		subtree := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			subtree = true
+			p = rest
+		} else if p == "..." {
+			subtree = true
+			p = "."
+		}
+		if rest, ok := strings.CutPrefix(p, "./"); ok {
+			p = rest
+		}
+		switch p {
+		case ".", "":
+			p = modpath
+		default:
+			if p != modpath && !strings.HasPrefix(p, modpath+"/") {
+				p = modpath + "/" + filepath.ToSlash(p)
+			}
+		}
+		rules = append(rules, rule{path: p, subtree: subtree})
+	}
+	return func(pkgPath string) bool {
+		for _, r := range rules {
+			if pkgPath == r.path {
+				return true
+			}
+			if r.subtree && strings.HasPrefix(pkgPath, r.path+"/") {
+				return true
+			}
+		}
+		return false
+	}
 }
 
 // runUnit analyzes one compilation unit per the vet.cfg protocol.
@@ -205,7 +380,7 @@ func runUnit(progname, cfgFile string, analyzers []*analysis.Analyzer) int {
 	// nothing to do beyond recording an (empty) output for go's cache.
 	writeVetx := func() {
 		if cfg.VetxOutput != "" {
-			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+			_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666) // best effort: go treats a missing vetx as a cache miss
 		}
 	}
 	if cfg.VetxOnly {
@@ -294,6 +469,7 @@ func runUnit(progname, cfgFile string, analyzers []*analysis.Analyzer) int {
 	}
 
 	exit := 0
+	var diags []analysis.Diagnostic
 	for _, a := range active {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -303,8 +479,7 @@ func runUnit(progname, cfgFile string, analyzers []*analysis.Analyzer) int {
 			TypesInfo: info,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
-			posn := fset.Position(d.Pos)
-			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", posn, d.Message, d.Category)
+			diags = append(diags, d)
 			exit = 1
 		}
 		if err := a.Run(pass); err != nil {
@@ -312,6 +487,8 @@ func runUnit(progname, cfgFile string, analyzers []*analysis.Analyzer) int {
 			exit = 1
 		}
 	}
+	sortDiagnostics(fset, diags)
+	printDiagnostics(fset, diags)
 
 	writeVetx()
 	return exit

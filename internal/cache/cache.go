@@ -52,6 +52,7 @@ func (c *L1) index(l addr.Line) int { return int(uint64(l) & c.mask) }
 // Probed once per reference — both the step loop and fast-forward call it.
 //
 //ascoma:hotpath
+//ascoma:par-commit
 func (c *L1) Lookup(l addr.Line, write bool) bool {
 	s := &c.lines[c.index(l)]
 	if s.valid && s.tag == l && (!write || s.writable) {
@@ -157,6 +158,7 @@ func (c *L1) CleanBlock(b addr.Block) int {
 func (c *L1) SnapshotInto(dst *L1) {
 	dst.sets = c.sets
 	dst.mask = c.mask
+	//ascoma:allow-alloc dst retains its lines capacity across snapshots; steady state is a bulk copy
 	dst.lines = append(dst.lines[:0], c.lines...)
 }
 

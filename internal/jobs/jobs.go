@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -471,9 +472,12 @@ func (m *Manager) runOne(j *Job, ctx context.Context, cfg ascoma.Config, epochIn
 	return RunResult{Result: stats.Report(res.Machine), Samples: res.Samples}, nil
 }
 
-// runGrid shards the cells across the runner pool. Completion order is
-// whatever the pool produces; assembly order is spec order. The first
-// failure cancels the job's context so outstanding cells abort fail-fast.
+// runGrid shards the cells across the runner pool, dispatching in the
+// estimator's most-expensive-first order (see costOrder) so the pool never
+// finishes a grid waiting on one late-started straggler. Completion order
+// is whatever the pool produces; assembly order is spec order, so the
+// seeding changes only wall-clock, never output bytes. The first failure
+// cancels the job's context so outstanding cells abort fail-fast.
 func (m *Manager) runGrid(j *Job, ctx context.Context, cells []ascoma.Config) (any, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -483,36 +487,57 @@ func (m *Manager) runGrid(j *Job, ctx context.Context, cells []ascoma.Config) (a
 		mu       sync.Mutex
 		firstErr error
 	)
-	for i := range cells {
-		i, cfg := i, cells[i]
+	runCell := func(i int) {
+		cfg := cells[i]
+		res, err := m.runner.Run(ctx, cfg)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s %v(%d%%): %w", cfg.Workload, cfg.Arch, cfg.Pressure, err)
+				cancel()
+			}
+			mu.Unlock()
+			return
+		}
+		results[i] = CellResult{
+			Arch: cfg.Arch.String(), Workload: cfg.Workload,
+			Pressure: cfg.Pressure, Result: stats.Report(res.Machine),
+		}
+		j.mu.Lock()
+		j.cellsDone++
+		done := j.cellsDone
+		j.mu.Unlock()
+		j.emit(Event{Type: "cell", Cell: &CellEvent{
+			Index: i, Arch: cfg.Arch.String(), Workload: cfg.Workload,
+			Pressure: cfg.Pressure, Done: done, Total: len(cells),
+			ExecTimeCycles: res.ExecTime,
+		}})
+	}
+	// A fixed pool pulling from the cost-ordered index stream: the pool
+	// width matches the runner's simulation bound, so cells start in
+	// predicted-cost order as slots free up rather than racing goroutines
+	// for the runner's semaphore in scheduler order.
+	workers := m.runner.Jobs
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := m.runner.Run(ctx, cfg)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s %v(%d%%): %w", cfg.Workload, cfg.Arch, cfg.Pressure, err)
-					cancel()
-				}
-				mu.Unlock()
-				return
+			for i := range idx {
+				runCell(i)
 			}
-			results[i] = CellResult{
-				Arch: cfg.Arch.String(), Workload: cfg.Workload,
-				Pressure: cfg.Pressure, Result: stats.Report(res.Machine),
-			}
-			j.mu.Lock()
-			j.cellsDone++
-			done := j.cellsDone
-			j.mu.Unlock()
-			j.emit(Event{Type: "cell", Cell: &CellEvent{
-				Index: i, Arch: cfg.Arch.String(), Workload: cfg.Workload,
-				Pressure: cfg.Pressure, Done: done, Total: len(cells),
-				ExecTimeCycles: res.ExecTime,
-			}})
 		}()
 	}
+	for _, i := range costOrder(cells) {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr

@@ -1,0 +1,47 @@
+package jobs
+
+import (
+	"sort"
+
+	"ascoma"
+	"ascoma/internal/estimate"
+	"ascoma/internal/params"
+	"ascoma/internal/workload"
+)
+
+// costOrder returns the indices of cells ordered most-expensive-first by
+// the analytical steady-state estimator (DESIGN.md §13). Dispatching the
+// predicted-longest simulations first keeps the runner pool busy to the
+// end of a grid instead of leaving one straggler running alone — the
+// classic LPT heuristic. The order itself is deterministic: estimators are
+// memoized per (workload, scale), a cell whose profile or estimator fails
+// costs 0 and runs last, and ties keep spec order (stable sort). Only the
+// dispatch order changes; grid results are still assembled in spec order,
+// so output bytes are identical whatever this returns.
+func costOrder(cells []ascoma.Config) []int {
+	type profKey struct {
+		workload string
+		scale    int
+	}
+	ests := make(map[profKey]*estimate.Estimator)
+	cost := make([]int64, len(cells))
+	for i, cfg := range cells {
+		k := profKey{cfg.Workload, cfg.Scale}
+		est, seen := ests[k]
+		if !seen {
+			if prof, err := workload.ProfileFor(cfg.Workload, cfg.Scale); err == nil {
+				est, _ = estimate.New(prof, params.Default())
+			}
+			ests[k] = est // nil when the profile or estimator fails: cost 0
+		}
+		if est != nil {
+			cost[i] = est.Predict(cfg.Arch, cfg.Pressure).ExecTime
+		}
+	}
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+	return order
+}

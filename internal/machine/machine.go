@@ -86,6 +86,8 @@ type Sample struct {
 // touches the scheduling flags, the chunk window, and the stats pointer on
 // every event, so they share the node's leading cache lines; the ~1 KB TLB
 // array sits last.
+//
+//ascoma:par-commit-state
 type node struct {
 	// blocked is the node's scheduling state as a bitmask (see ndDone etc.):
 	// runNode's entry check — taken once per event — tests one byte instead
@@ -161,6 +163,8 @@ func (nd *node) refillWindow() []workload.Ref {
 }
 
 // Machine is one configured simulation.
+//
+//ascoma:par-commit-state reads-ok
 type Machine struct {
 	cfg   Config
 	p     *params.Params
@@ -390,6 +394,8 @@ func (m *Machine) lockFor(id addr.GVA, create bool) *lockState {
 
 // acquireLock attempts to take the mutex; it returns the cycles consumed
 // and whether the node must park.
+//
+//ascoma:hotpath-stop lock operations are rare next to memory references; contended bookkeeping allocates by design
 func (m *Machine) acquireLock(nd *node, id addr.GVA, now int64) (cost int64, blocked bool) {
 	l := m.lockFor(id, true)
 	cost = m.lockCost(nd, id)
@@ -403,6 +409,8 @@ func (m *Machine) acquireLock(nd *node, id addr.GVA, now int64) (cost int64, blo
 }
 
 // releaseLock frees the mutex and hands it to the first waiter, waking it.
+//
+//ascoma:hotpath-stop lock operations are rare next to memory references; the error path formats a diagnostic
 func (m *Machine) releaseLock(nd *node, id addr.GVA, now int64) (int64, error) {
 	l := m.lockFor(id, false)
 	if l == nil || !l.held || l.owner != nd.id {
@@ -1226,6 +1234,8 @@ func (m *Machine) evict(nd *node, victim *vm.PTE) int64 {
 // reached or no cold pages remain, then let the policy observe the outcome
 // (AS-COMA's thrash detector lives in that observation). Returns the cycles
 // consumed, charged as K-OVERHD.
+//
+//ascoma:hotpath-stop episodic pageout daemon; runs at scan cadence off the per-reference path
 func (m *Machine) runDaemon(nd *node, now int64) int64 {
 	p := m.p
 	vmm := nd.vmm
@@ -1312,6 +1322,8 @@ func (m *Machine) NodeVM(i int) *vm.VM { return m.nodes[i].vmm }
 func (m *Machine) NodePolicy(i int) core.Policy { return m.nodes[i].pol }
 
 // takeSample records one adaptation-timeline point for node 0.
+//
+//ascoma:hotpath-stop sampling probe at window cadence, not per-reference
 func (m *Machine) takeSample(nd *node, now int64) {
 	m.samples = append(m.samples, Sample{
 		Time:       now,
@@ -1334,6 +1346,8 @@ func (m *Machine) Samples() []Sample { return m.samples }
 // epoch series. Like takeSample it runs on node 0's dispatch, so each row
 // is captured at a deterministic point of the event order and the series
 // is bit-identical across identical runs.
+//
+//ascoma:hotpath-stop epoch-boundary bookkeeping at window cadence, not per-reference
 func (m *Machine) takeEpoch(now int64) {
 	m.ep.Begin(now)
 	for _, nd := range m.nodes {

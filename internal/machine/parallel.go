@@ -177,6 +177,8 @@ type parCore struct {
 // startPar builds the parallel core: per-node entries with pooled stream
 // scratches and preallocated L1 snapshots, and a work queue of min(cores,
 // nodes) workers (the commit goroutine is one of them).
+//
+//ascoma:par-commit
 func (m *Machine) startPar(cores int) {
 	n := len(m.nodes)
 	if cores > n {
@@ -204,6 +206,8 @@ func (m *Machine) startPar(cores int) {
 // stopPar tears the core down: every in-flight scan drains (the commit
 // goroutine helps), the helper goroutines exit, and the stream scratches go
 // back to the workload chunk pool.
+//
+//ascoma:par-commit
 func (m *Machine) stopPar() {
 	pc := m.par
 	if pc == nil {
@@ -229,6 +233,8 @@ func (m *Machine) stopPar() {
 // when fruitless) feeds nodes into the scan pipeline; consumed nodes
 // re-arm themselves inside apply, so a steady fast-forward phase never
 // depends on the sweep.
+//
+//ascoma:par-commit
 func (m *Machine) runLoopParallel(ctx context.Context) {
 	pc := m.par
 	poll := 0
@@ -266,6 +272,8 @@ func (m *Machine) runLoopParallel(ctx context.Context) {
 // whose next dispatch falls inside the epoch window. It returns the number
 // of scans submitted; a saturated pipeline (every node busy or miss-bound)
 // returns 0 and the caller backs off.
+//
+//ascoma:par-commit
 func (pc *parCore) armPass() int {
 	m := pc.m
 	qn := m.q.Len()
@@ -297,6 +305,8 @@ func (pc *parCore) armPass() int {
 // essentially every node. Refilling an exhausted window here is safe — it
 // is the same deterministic decode the dispatch itself would perform, just
 // earlier on the same goroutine.
+//
+//ascoma:par-commit
 func (pc *parCore) armNode(nd *node, start int64) bool {
 	e := &pc.entries[nd.id]
 	if e.state.Load() != parIdle {
@@ -335,6 +345,8 @@ func (pc *parCore) armNode(nd *node, start int64) bool {
 // results. Everything it touches lives in the entry — the capture made by
 // armNode — so it is safe on any worker, including the commit goroutine
 // helping while it waits.
+//
+//ascoma:par-worker
 func (pc *parCore) task(id int) {
 	e := &pc.entries[id]
 	pc.m.ffScan(e)
@@ -353,6 +365,7 @@ func (pc *parCore) task(id int) {
 // commit).
 //
 //ascoma:hotpath
+//ascoma:par-worker
 func (m *Machine) ffScan(e *parEntry) {
 	hitCycles := m.p.L1HitCycles
 	quantum := m.quantum
@@ -460,6 +473,7 @@ func (m *Machine) ffScan(e *parEntry) {
 // waiting commit goroutine is a free worker.
 //
 //ascoma:hotpath
+//ascoma:par-commit
 func (pc *parCore) apply(nd *node, now int64) int64 {
 	e := &pc.entries[nd.id]
 	st := e.state.Load()

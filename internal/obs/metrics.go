@@ -299,6 +299,6 @@ func writeHistogram(b *strings.Builder, name string, h *Histogram) {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WriteText(w) //nolint:errcheck // client-side failure
+		r.WriteText(w) //ascoma:allow-errdrop client write failure is the client's problem
 	})
 }

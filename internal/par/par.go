@@ -88,6 +88,7 @@ func NewQueue(workers int, task func(int)) *Queue {
 // arming discipline guarantees a far smaller bound).
 //
 //ascoma:hotpath
+//ascoma:par-commit
 func (q *Queue) Submit(item int) {
 	s := q.submitted.Load()
 	q.buf[s&(queueCap-1)] = int32(item)
@@ -121,6 +122,7 @@ func (q *Queue) claim() (int, bool) {
 // instead of idling.
 //
 //ascoma:hotpath
+//ascoma:par-worker
 func (q *Queue) Help() bool {
 	i, ok := q.claim()
 	if !ok {
@@ -134,6 +136,8 @@ func (q *Queue) Help() bool {
 // Quiesce runs and/or waits until every submitted task has completed.
 // After it returns (and until the next Submit) no helper is touching any
 // task's state.
+//
+//ascoma:par-commit
 func (q *Queue) Quiesce() {
 	for q.completed.Load() < q.submitted.Load() {
 		if !q.Help() {
@@ -146,6 +150,8 @@ func (q *Queue) Quiesce() {
 func (q *Queue) Workers() int { return q.helpers + 1 }
 
 // loop runs one helper: spin for work, run it, park after a long idle.
+//
+//ascoma:par-worker
 func (q *Queue) loop() {
 	spins := 0
 	for {
@@ -178,6 +184,8 @@ func (q *Queue) loop() {
 
 // Close terminates the helper goroutines. The producer must Quiesce first
 // and must not use the queue afterwards.
+//
+//ascoma:par-commit
 func (q *Queue) Close() {
 	q.stop.Store(true)
 	for i := 0; i < q.helpers; i++ {

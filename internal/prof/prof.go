@@ -22,7 +22,7 @@ func Start(cpuFile, memFile string) (stop func() error, err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuOut); err != nil {
-			cpuOut.Close()
+			_ = cpuOut.Close()
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}

@@ -125,12 +125,12 @@ func (b *DiskBackend) Store(_ context.Context, key Key, res *ascoma.Result) erro
 		return err
 	}
 	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	return os.Rename(tmp.Name(), b.path(key))
@@ -179,7 +179,7 @@ func (b *HTTPBackend) Load(ctx context.Context, key Key) (*ascoma.Result, error)
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		io.Copy(io.Discard, resp.Body) //ascoma:allow-errdrop drain for keep-alive; the status code already decided the outcome
 		return nil, ErrNotFound
 	default:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -208,7 +208,7 @@ func (b *HTTPBackend) Store(ctx context.Context, key Key, res *ascoma.Result) er
 		return err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	io.Copy(io.Discard, resp.Body) //ascoma:allow-errdrop drain for keep-alive; the status code already decided the outcome
 	if resp.StatusCode/100 != 2 {
 		return fmt.Errorf("runcache: peer %s: PUT %s", b.base, resp.Status)
 	}
@@ -242,7 +242,7 @@ func PeerHandler(c *Cache) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(blob) //nolint:errcheck // client-side failure
+		w.Write(blob) //ascoma:allow-errdrop client write failure is the client's problem
 	})
 	mux.HandleFunc("PUT /{key}", func(w http.ResponseWriter, r *http.Request) {
 		key := Key(r.PathValue("key"))

@@ -122,7 +122,7 @@ func (s *Server) Close() { s.mgr.Close() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n") //nolint:errcheck // client-side failure
+		io.WriteString(w, "ok\n") //ascoma:allow-errdrop client write failure is the client's problem
 	})
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -183,7 +183,7 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 		writeKV(v.key, string(blob))
 	}
 	b.WriteString("\n}\n")
-	io.WriteString(w, b.String()) //nolint:errcheck // client-side failure
+	io.WriteString(w, b.String()) //ascoma:allow-errdrop client write failure is the client's problem
 }
 
 // writeRunError maps a simulation error onto the status taxonomy and the
@@ -313,7 +313,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	io.WriteString(w, buf.String()) //nolint:errcheck // client-side failure
+	io.WriteString(w, buf.String()) //ascoma:allow-errdrop client write failure is the client's problem
 }
 
 // handleJobSubmit admits one async job: 202 + status on success, 400 on a
@@ -342,7 +342,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/api/v1/jobs/"+j.ID())
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(j.Status()) //nolint:errcheck // client-side failure
+	json.NewEncoder(w).Encode(j.Status()) //ascoma:allow-errdrop client write failure is the client's problem
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) *jobs.Job {
@@ -359,7 +359,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(j.Status()) //nolint:errcheck // client-side failure
+	json.NewEncoder(w).Encode(j.Status()) //ascoma:allow-errdrop client write failure is the client's problem
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -370,7 +370,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j.Cancel()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(j.Status()) //nolint:errcheck // client-side failure
+	json.NewEncoder(w).Encode(j.Status()) //ascoma:allow-errdrop client write failure is the client's problem
 }
 
 // handleJobEvents streams the job's event log as NDJSON (one JSON event

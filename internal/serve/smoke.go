@@ -75,7 +75,7 @@ func Smoke(s *Server) error {
 		return err
 	}
 	runBody, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("POST run: %s: %s", resp.Status, runBody)
 	}
@@ -92,7 +92,7 @@ func Smoke(s *Server) error {
 		return err
 	}
 	estBody, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("POST estimate: %s: %s", resp.Status, estBody)
 	}
@@ -121,7 +121,7 @@ func Smoke(s *Server) error {
 		return err
 	}
 	jobBody, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		return fmt.Errorf("POST jobs: %s: %s", resp.Status, jobBody)
 	}
