@@ -54,6 +54,10 @@ trace-check:
 	.bin/ascoma-sim -arch ascoma -workload radix -pressure 70 -scale 16 -trace .bin/trace-b -epoch 5000 >/dev/null
 	cmp .bin/trace-a .bin/trace-b
 	.bin/ascoma-inspect summary .bin/trace-a >/dev/null
+	.bin/ascoma-sim -arch ascoma -workload radix -pressure 70 -scale 16 -tiers 30:40:60,70:120:300 -pagepolicy hybrid -trace .bin/trace-ta -epoch 5000 >/dev/null
+	.bin/ascoma-sim -arch ascoma -workload radix -pressure 70 -scale 16 -tiers 30:40:60,70:120:300 -pagepolicy hybrid -trace .bin/trace-tb -epoch 5000 >/dev/null
+	cmp .bin/trace-ta .bin/trace-tb
+	.bin/ascoma-inspect summary .bin/trace-ta >/dev/null
 
 # parallel-check proves the parallel core's exactness end to end through
 # the real binary: the same observed run at -cores 1 and -cores 4 must
@@ -93,6 +97,8 @@ verify: vet vet-self
 # README.md ("Benchmarking") for the benchstat workflow.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig2FFT$$|BenchmarkHotPath$$|BenchmarkGridRow$$' -benchtime 3x -count 3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPathTiered$$' -benchtime 3x -count 3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkRowBuffer$$' -benchmem -count 3 ./internal/mem/
 	$(GO) test -run '^$$' -bench 'BenchmarkEstimate$$|BenchmarkEstimateProfile$$' -benchmem -count 3 .
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamGeneration$$' -count 3 .
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelScaling|BenchmarkParallelMissBound$$' -benchtime 10x -count 3 .

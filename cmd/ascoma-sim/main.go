@@ -32,9 +32,16 @@ func main() {
 	epoch := flag.Int64("epoch", 0, "with -trace, sample per-node epoch probes every N cycles (0 = events only)")
 	cores := flag.Int("cores", 1, "worker threads inside the run (results are bit-identical at any count)")
 	quantum := flag.Int64("quantum", 0, "cycles per node timeslice (0 = the 100-cycle default; changes simulated results)")
+	tiers := flag.String("tiers", "", "memory tiers as capPct:readCycles:writeCycles,... fastest first (empty = flat memory)")
+	pagePolicy := flag.String("pagepolicy", "", "DRAM row-buffer page policy: open, closed, hybrid (empty = off)")
 	flag.Parse()
 
 	a, err := ascoma.ParseArch(*arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tierSpecs, err := ascoma.ParseTiers(*tiers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -52,13 +59,15 @@ func main() {
 		os.Exit(2)
 	}
 	res, err := ascoma.Run(ascoma.Config{
-		Arch:     a,
-		Workload: *wl,
-		Pressure: *pressure,
-		Scale:    *scale,
-		Quantum:  *quantum,
-		Obs:      rec,
-		Cores:    *cores,
+		Arch:       a,
+		Workload:   *wl,
+		Pressure:   *pressure,
+		Scale:      *scale,
+		Quantum:    *quantum,
+		Obs:        rec,
+		Cores:      *cores,
+		Tiers:      tierSpecs,
+		PagePolicy: *pagePolicy,
 	})
 	if perr := stopProf(); perr != nil {
 		fmt.Fprintln(os.Stderr, perr)

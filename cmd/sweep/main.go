@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -61,6 +62,11 @@ var (
 	memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	trace       = flag.String("trace", "", "record a flight-recorder trace of one AS-COMA run to this file (requires -app; inspect with ascoma-inspect)")
 	epoch       = flag.Int64("epoch", 0, "with -trace, sample per-node epoch probes every N cycles (0 = events only)")
+	tiers       = flag.String("tiers", "", "run every cell under tiered memory: capPct:readCycles:writeCycles,... fastest first")
+	pagePolicy  = flag.String("pagepolicy", "", "DRAM row-buffer page policy for every cell: open, closed, hybrid (empty = off)")
+	tierGrid    = flag.Bool("tiergrid", false, "render the tiered-memory adaptation grid (fast-share x asymmetry x pressure) instead of figures")
+	fastShares  = flag.String("fastshares", "", "with -tiergrid, comma-separated fast-tier capacity shares in percent (default 25,50,75)")
+	asymmetries = flag.String("asymmetries", "", "with -tiergrid, comma-separated slow-tier latency multiples (default 2,4,8)")
 )
 
 // stopProf finishes any active profiles; fail() runs it before os.Exit so a
@@ -87,6 +93,10 @@ func main() {
 		fail(fmt.Errorf("sweep: unknown figure %d (2 or 3; 0 = both)", *fig))
 	}
 	plist, err := report.ParsePressures(*pressures)
+	if err != nil {
+		fail(err)
+	}
+	tierSpecs, err := ascoma.ParseTiers(*tiers)
 	if err != nil {
 		fail(err)
 	}
@@ -127,7 +137,7 @@ func main() {
 	}
 	runner := &runcache.Runner{Cache: cache, Jobs: *jobs}
 	opts := report.Options{Scale: *scale, Pressures: plist, Jobs: *jobs, Runner: runner, Cores: *cores,
-		Screen: *screen, ScreenStats: sstats}
+		Screen: *screen, ScreenStats: sstats, Tiers: tierSpecs, PagePolicy: *pagePolicy}
 	if *screen {
 		opts.ScreenLog = func(app string, simulated, skipped int) {
 			fmt.Fprintf(os.Stderr, "sweep: %s: simulated %d cells, skipped %d (estimator-certified)\n",
@@ -170,6 +180,21 @@ func main() {
 	case 0:
 	default:
 		fail(fmt.Errorf("sweep: unknown table %d (5 or 6)", *table))
+	}
+
+	if *tierGrid {
+		shares, err := parseAxis("fastshares", *fastShares)
+		if err != nil {
+			fail(err)
+		}
+		asyms, err := parseAxis("asymmetries", *asymmetries)
+		if err != nil {
+			fail(err)
+		}
+		for _, a := range apps {
+			run(report.TierGrid(ctx, os.Stdout, a, shares, asyms, opts))
+		}
+		return
 	}
 
 	switch *sensitivity {
@@ -241,6 +266,23 @@ func writeSVGs(ctx context.Context, dir, app string, opts report.Options) error 
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s_time.svg and %s_misses.svg to %s\n", app, app, dir)
 	return nil
+}
+
+// parseAxis parses a comma-separated list of positive integers for the
+// tier-grid axes; empty selects the report package's default axis.
+func parseAxis(name, s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("sweep: bad -%s value %q", name, f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func run(err error) {

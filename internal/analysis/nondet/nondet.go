@@ -36,6 +36,7 @@ import (
 // checksums pin.
 var DeterministicPackages = []string{
 	"ascoma/internal/sim",
+	"ascoma/internal/mem",
 	"ascoma/internal/machine",
 	"ascoma/internal/directory",
 	"ascoma/internal/cache",

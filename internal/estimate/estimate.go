@@ -23,6 +23,7 @@ package estimate
 import (
 	"errors"
 
+	"ascoma/internal/mem"
 	"ascoma/internal/model"
 	"ascoma/internal/params"
 	"ascoma/internal/stats"
@@ -101,6 +102,11 @@ type Estimator struct {
 	dTot [maxNodes]int64 // distinct remote pages
 
 	baseline int64 // CC-NUMA execution time (pressure-independent)
+
+	// memAdj is the tiered-memory adjustment to the effective local
+	// memory latency (SetTiers); 0 on flat configurations, which keeps
+	// every pre-tier prediction bit-identical.
+	memAdj int64
 }
 
 // New builds an estimator for prof under p. The profile replay has
@@ -127,6 +133,48 @@ func New(prof *workload.Profile, p params.Params) (*Estimator, error) {
 
 // Profile returns the profile the estimator was built from.
 func (e *Estimator) Profile() *workload.Profile { return e.prof }
+
+// SetTiers folds a tiered-memory configuration into the model as an
+// effective local-memory latency shift and recomputes the CC-NUMA
+// baseline under it. The analytical model does not track per-page tier
+// residency; it charges every memory access the capacity-weighted mean
+// tier latency (TierMemAdjust), which matches the simulator's steady
+// state once placement has spread pages across tiers. A nil spec with
+// PolicyNone restores the flat model exactly.
+func (e *Estimator) SetTiers(specs []mem.TierSpec, pol mem.Policy) {
+	e.memAdj = TierMemAdjust(&e.p, specs, pol)
+	base := e.Predict(params.CCNUMA, 50)
+	e.baseline = base.ExecTime
+}
+
+// TierMemAdjust returns the shift in effective local-memory latency a
+// tier configuration induces: the capacity-weighted mean of each tier's
+// latencies under a 3:1 read:write mix, scaled by the row-buffer
+// policy's expected hit economy (open rows convert most same-row
+// accesses to fast hits; the hybrid predictor captures a little less;
+// closed pages always pay the full activate), minus the flat
+// LocalMemCycles the unadjusted model already charges.
+func TierMemAdjust(p *params.Params, specs []mem.TierSpec, pol mem.Policy) int64 {
+	if len(specs) == 0 {
+		if pol == mem.PolicyNone {
+			return 0
+		}
+		// A policy without tiers models row buffers on one flat tier.
+		specs = []mem.TierSpec{{CapacityPct: 100, ReadCycles: p.LocalMemCycles, WriteCycles: p.LocalMemCycles}}
+	}
+	var eff int64
+	for _, ts := range specs {
+		eff += int64(ts.CapacityPct) * (3*ts.ReadCycles + ts.WriteCycles) / 4
+	}
+	eff /= 100
+	switch pol {
+	case mem.PolicyOpen:
+		eff = eff * 85 / 100
+	case mem.PolicyHybrid:
+		eff = eff * 90 / 100
+	}
+	return eff - p.LocalMemCycles
+}
 
 // Baseline returns the CC-NUMA execution-time baseline RelTime is
 // normalized against.
@@ -182,8 +230,8 @@ func (e *Estimator) Predict(arch params.Arch, pressure int) Prediction {
 	prof := e.prof
 	nodes := prof.Nodes
 
-	tLocal := int64(p.BusCycles + p.LocalMemCycles)
-	tRemote := int64(p.RemoteMemCycles())
+	tLocal := int64(p.BusCycles+p.LocalMemCycles) + e.memAdj
+	tRemote := int64(p.RemoteMemCycles()) + e.memAdj
 	tFault := int64(p.PageFaultCycles)
 	tL1 := int64(p.L1HitCycles)
 
@@ -296,10 +344,11 @@ func (e *Estimator) nodeCost(arch params.Arch, n int, pool, cap, capMin int64) a
 	var ac archCost
 	ac.remotePages = np.RemotePages
 
-	tLocal := int64(p.BusCycles + p.LocalMemCycles)
+	tLocal := int64(p.BusCycles+p.LocalMemCycles) + e.memAdj
 	// Remote fetches queue at the bus, directory, memory banks, and
-	// network ports; the loaded latency runs above the unloaded sum.
-	tRemote := int64(p.RemoteMemCycles()) * (100 + contendPct) / 100
+	// network ports; the loaded latency runs above the unloaded sum. The
+	// home's memory access shifts with the tier adjustment too.
+	tRemote := (int64(p.RemoteMemCycles()) + e.memAdj) * (100 + contendPct) / 100
 	tRAC := int64(p.RACHitCycles)
 	tFault := int64(p.PageFaultCycles)
 	tInt := int64(p.InterruptCycles)

@@ -15,6 +15,7 @@ import (
 
 	"ascoma"
 	"ascoma/internal/estimate"
+	"ascoma/internal/mem"
 	"ascoma/internal/params"
 	"ascoma/internal/report"
 	"ascoma/internal/runcache"
@@ -69,6 +70,25 @@ type RunSpec struct {
 	// the probes fill) but still populate the cache on completion. Only
 	// the async jobs endpoint honours it; POST /api/v1/run rejects it.
 	EpochInterval int64 `json:"epochInterval,omitempty"`
+	// Tiers and PagePolicy select the tiered-memory model
+	// (ascoma.Config.Tiers/PagePolicy); both empty = the flat seed model.
+	Tiers      []ascoma.TierSpec `json:"tiers,omitempty"`
+	PagePolicy string            `json:"pagePolicy,omitempty"`
+}
+
+// checkTiers is the shared tier-spec gate for every arm that accepts a
+// tiered-memory configuration: internal/mem's bounds (capacities positive
+// and summing to 100, latencies positive, at most mem.MaxTiers tiers,
+// known policy name) surfaced as ValidationErrors so the HTTP layer
+// answers 400, not 500.
+func checkTiers(tiers []ascoma.TierSpec, policy string) error {
+	if _, err := mem.ParsePolicy(policy); err != nil {
+		return badSpec("%v", err)
+	}
+	if err := mem.ValidateTiers(tiers); err != nil {
+		return badSpec("%v", err)
+	}
+	return nil
 }
 
 // Config validates the spec and converts it to an ascoma.Config (without
@@ -97,6 +117,9 @@ func (r RunSpec) Config(cores int) (ascoma.Config, error) {
 	if err := checkInterval("epochInterval", r.EpochInterval); err != nil {
 		return ascoma.Config{}, err
 	}
+	if err := checkTiers(r.Tiers, r.PagePolicy); err != nil {
+		return ascoma.Config{}, err
+	}
 	return ascoma.Config{
 		Arch:           arch,
 		Workload:       r.Workload,
@@ -105,6 +128,8 @@ func (r RunSpec) Config(cores int) (ascoma.Config, error) {
 		MaxCycles:      r.MaxCycles,
 		SampleInterval: r.SampleInterval,
 		Cores:          cores,
+		Tiers:          r.Tiers,
+		PagePolicy:     r.PagePolicy,
 	}, nil
 }
 
@@ -129,6 +154,9 @@ type GridSpec struct {
 	Pressures []int    `json:"pressures,omitempty"`
 	Scale     int      `json:"scale"`
 	MaxCycles int64    `json:"maxCycles,omitempty"`
+	// Tiers and PagePolicy apply the tiered-memory model to every cell.
+	Tiers      []ascoma.TierSpec `json:"tiers,omitempty"`
+	PagePolicy string            `json:"pagePolicy,omitempty"`
 }
 
 // figureArchs are the pressure-sensitive architectures of the paper's
@@ -163,6 +191,9 @@ func (g GridSpec) cells(cores, maxCells int) ([]ascoma.Config, error) {
 	if g.MaxCycles < 0 || g.MaxCycles > MaxCycleBound {
 		return nil, badSpec("maxCycles %d out of range [0,%d]", g.MaxCycles, MaxCycleBound)
 	}
+	if err := checkTiers(g.Tiers, g.PagePolicy); err != nil {
+		return nil, err
+	}
 
 	var archs []ascoma.Arch
 	baseline := false
@@ -183,6 +214,7 @@ func (g GridSpec) cells(cores, maxCells int) ([]ascoma.Config, error) {
 		cells = append(cells, ascoma.Config{
 			Arch: arch, Workload: app, Pressure: pressure,
 			Scale: g.Scale, MaxCycles: g.MaxCycles, Cores: cores,
+			Tiers: g.Tiers, PagePolicy: g.PagePolicy,
 		})
 	}
 	for _, app := range apps {
@@ -209,6 +241,10 @@ type FigureSpec struct {
 	Format    string `json:"format,omitempty"` // "", "table", "csv", "chart"
 	Scale     int    `json:"scale"`
 	Pressures []int  `json:"pressures,omitempty"`
+	// Tiers and PagePolicy render the figure under the tiered-memory
+	// model (report.Options.Tiers/PagePolicy).
+	Tiers      []ascoma.TierSpec `json:"tiers,omitempty"`
+	PagePolicy string            `json:"pagePolicy,omitempty"`
 }
 
 func (f FigureSpec) validate() error {
@@ -228,7 +264,7 @@ func (f FigureSpec) validate() error {
 			return badSpec("pressure %d out of range [1,99]", p)
 		}
 	}
-	return nil
+	return checkTiers(f.Tiers, f.PagePolicy)
 }
 
 // ReportOptions validates the spec and converts it to report.Options —
@@ -239,19 +275,99 @@ func (f FigureSpec) ReportOptions(runner *runcache.Runner, cores int) (report.Op
 		return report.Options{}, err
 	}
 	return report.Options{
-		Runner:    runner,
-		Cores:     cores,
-		Scale:     f.Scale,
-		Pressures: f.Pressures,
-		Format:    f.Format,
+		Runner:     runner,
+		Cores:      cores,
+		Scale:      f.Scale,
+		Pressures:  f.Pressures,
+		Format:     f.Format,
+		Tiers:      f.Tiers,
+		PagePolicy: f.PagePolicy,
 	}, nil
+}
+
+// TierGridSpec renders the tiered-memory adaptation grid (report.TierGrid)
+// asynchronously: the fast-tier capacity share x latency-asymmetry x
+// pressure sweep for one application across all six architectures.
+type TierGridSpec struct {
+	App       string `json:"app"`
+	Format    string `json:"format,omitempty"` // "", "table", "csv"
+	Scale     int    `json:"scale"`
+	Pressures []int  `json:"pressures,omitempty"`
+	// FastShares is the fast tier's capacity-share axis in percent
+	// (default 25,50,75); Asymmetries the slow tier's read-latency
+	// multiple (default 2,4,8).
+	FastShares  []int `json:"fastShares,omitempty"`
+	Asymmetries []int `json:"asymmetries,omitempty"`
+	// PagePolicy is the row-buffer policy every tiered cell runs under
+	// ("" = the grid's "open" default).
+	PagePolicy string `json:"pagePolicy,omitempty"`
+}
+
+// maxTierAxis bounds each tier-grid axis; beyond it the cell count, not
+// the rendering, is the problem — use several jobs.
+const maxTierAxis = 16
+
+func (t TierGridSpec) validate() error {
+	if !slices.Contains(ascoma.Workloads(), t.App) {
+		return badSpec("unknown workload %q (registered: %s)", t.App, strings.Join(ascoma.Workloads(), ", "))
+	}
+	switch t.Format {
+	case "", "table", "csv":
+	default:
+		return badSpec("unknown tier-grid format %q (table, csv)", t.Format)
+	}
+	if t.Scale < 0 || t.Scale > MaxScale {
+		return badSpec("scale %d out of range [0,%d]", t.Scale, MaxScale)
+	}
+	for _, p := range t.Pressures {
+		if p < 1 || p > 99 {
+			return badSpec("pressure %d out of range [1,99]", p)
+		}
+	}
+	if len(t.FastShares) > maxTierAxis || len(t.Asymmetries) > maxTierAxis {
+		return badSpec("tier-grid axes bounded at %d values each", maxTierAxis)
+	}
+	for _, s := range t.FastShares {
+		if s < 1 || s > 99 {
+			return badSpec("fast share %d%% out of range [1,99]", s)
+		}
+	}
+	for _, a := range t.Asymmetries {
+		if a < 1 || a > 1024 {
+			return badSpec("asymmetry %d out of range [1,1024]", a)
+		}
+	}
+	if _, err := mem.ParsePolicy(t.PagePolicy); err != nil {
+		return badSpec("%v", err)
+	}
+	return nil
+}
+
+// cellCount is the grid's simulation count (for job progress totals):
+// per pressure and architecture, one flat baseline plus one cell per
+// share x asymmetry combination.
+func (t TierGridSpec) cellCount() int {
+	np := len(dedupeSorted(t.Pressures))
+	if np == 0 {
+		np = 5
+	}
+	ns := len(t.FastShares)
+	if ns == 0 {
+		ns = len(report.DefaultFastShares)
+	}
+	na := len(t.Asymmetries)
+	if na == 0 {
+		na = len(report.DefaultAsymmetries)
+	}
+	return 6 * np * (1 + ns*na)
 }
 
 // Spec is the POST /api/v1/jobs body: exactly one arm set.
 type Spec struct {
-	Run    *RunSpec    `json:"run,omitempty"`
-	Grid   *GridSpec   `json:"grid,omitempty"`
-	Figure *FigureSpec `json:"figure,omitempty"`
+	Run      *RunSpec      `json:"run,omitempty"`
+	Grid     *GridSpec     `json:"grid,omitempty"`
+	Figure   *FigureSpec   `json:"figure,omitempty"`
+	TierGrid *TierGridSpec `json:"tierGrid,omitempty"`
 }
 
 // Kind names the populated arm.
@@ -263,19 +379,21 @@ func (s Spec) Kind() string {
 		return "grid"
 	case s.Figure != nil:
 		return "figure"
+	case s.TierGrid != nil:
+		return "tiergrid"
 	}
 	return ""
 }
 
 func (s Spec) validateShape() error {
 	n := 0
-	for _, set := range []bool{s.Run != nil, s.Grid != nil, s.Figure != nil} {
+	for _, set := range []bool{s.Run != nil, s.Grid != nil, s.Figure != nil, s.TierGrid != nil} {
 		if set {
 			n++
 		}
 	}
 	if n != 1 {
-		return badSpec(`spec must set exactly one of "run", "grid", or "figure"`)
+		return badSpec(`spec must set exactly one of "run", "grid", "figure", or "tierGrid"`)
 	}
 	return nil
 }
@@ -306,6 +424,11 @@ type EstimateSpec struct {
 	Archs     []string `json:"archs,omitempty"`
 	Pressures []int    `json:"pressures,omitempty"`
 	Scale     int      `json:"scale"`
+	// Tiers and PagePolicy fold a tiered-memory configuration into the
+	// model (estimate.SetTiers): predictions shift by the capacity-
+	// weighted effective latency the tier mix induces.
+	Tiers      []ascoma.TierSpec `json:"tiers,omitempty"`
+	PagePolicy string            `json:"pagePolicy,omitempty"`
 }
 
 // Predictions validates the spec, builds (or reuses the memoized)
@@ -317,6 +440,9 @@ func (e EstimateSpec) Predictions() ([]estimate.Prediction, error) {
 	}
 	if e.Scale < 0 || e.Scale > MaxScale {
 		return nil, badSpec("scale %d out of range [0,%d]", e.Scale, MaxScale)
+	}
+	if err := checkTiers(e.Tiers, e.PagePolicy); err != nil {
+		return nil, err
 	}
 	archs := []ascoma.Arch{ascoma.CCNUMA, ascoma.SCOMA, ascoma.RNUMA, ascoma.VCNUMA, ascoma.ASCOMA, ascoma.MIGNUMA}
 	if len(e.Archs) > 0 {
@@ -349,6 +475,10 @@ func (e EstimateSpec) Predictions() ([]estimate.Prediction, error) {
 	est, err := estimate.New(prof, params.Default())
 	if err != nil {
 		return nil, fmt.Errorf("jobs: estimator for %s: %w", e.Workload, err)
+	}
+	if len(e.Tiers) > 0 || e.PagePolicy != "" {
+		pol, _ := mem.ParsePolicy(e.PagePolicy) // validated above
+		est.SetTiers(e.Tiers, pol)
 	}
 	preds := make([]estimate.Prediction, 0, len(archs)*len(pressures))
 	for _, arch := range archs {

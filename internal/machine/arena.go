@@ -21,6 +21,7 @@ import (
 	"ascoma/internal/bus"
 	"ascoma/internal/cache"
 	"ascoma/internal/directory"
+	"ascoma/internal/mem"
 	"ascoma/internal/params"
 	"ascoma/internal/vm"
 	"ascoma/internal/workload"
@@ -35,7 +36,8 @@ type shape struct {
 	racEntries int
 	memBanks   int
 	totalPages int
-	homeLimit  int // directory home-allocation cap (home pages per node)
+	homeLimit  int    // directory home-allocation cap (home pages per node)
+	tierSig    string // memory-tier configuration signature (mem.SigOf; "" = flat)
 }
 
 // arena maps shape -> *sync.Pool of released *Machine. sync.Pool gives
@@ -61,7 +63,7 @@ func arenaPut(m *Machine) {
 // caches, VM and contention resources, plus the directory. Per-run fields
 // (policies, stats, streams, network) are wired by New for fresh and
 // recycled machines alike.
-func newShaped(sh shape, p *params.Params) *Machine {
+func newShaped(sh shape, p *params.Params, tiers []mem.TierSpec, pol mem.Policy) *Machine {
 	m := &Machine{shape: sh}
 	m.nodes = make([]*node, sh.nodes)
 	for i := range m.nodes {
@@ -72,9 +74,14 @@ func newShaped(sh shape, p *params.Params) *Machine {
 			vmm: vm.New(i, sh.totalPages, p.FreeMinPct, p.FreeTargetPct),
 			bus: *bus.New(p.BusCycles),
 		}
-		// Init after the node has its final address: small bank counts
-		// store their banks inside the struct itself.
-		m.nodes[i].mem.Init(sh.memBanks)
+		// Init/Configure after the node has its final address: small bank
+		// counts store their banks inside the struct itself. The tier
+		// config is pinned by sh.tierSig, so recycling keeps it.
+		if len(tiers) > 0 {
+			m.nodes[i].mem.Configure(sh.memBanks, tiers, pol)
+		} else {
+			m.nodes[i].mem.Init(sh.memBanks)
+		}
 	}
 	// The directory's callbacks are bound to m itself, so they survive
 	// recycling: the whole machine is pooled as a unit.
@@ -97,6 +104,7 @@ func (m *Machine) recycle(sh shape, p *params.Params) {
 		nd.blocked = 0
 		nd.arriveTime = 0
 		nd.invGen = 0
+		nd.prevRowConf = 0
 	}
 	m.dir.Reset(sh.homeLimit, p.RefetchThreshold)
 	m.q.Reset()
@@ -112,6 +120,8 @@ func (m *Machine) recycle(sh shape, p *params.Params) {
 	m.nextEpoch = 0
 	m.fetchCount, m.fetchTotal, m.fwdCount, m.invCount = 0, 0, 0, 0
 	m.stageWait = [4]int64{}
+	m.tiered = false
+	m.tierPromotes, m.tierDemotes = 0, 0
 }
 
 // Release returns the machine's recyclable state (caches, page tables,

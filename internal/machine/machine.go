@@ -16,6 +16,7 @@ import (
 	"ascoma/internal/core"
 	"ascoma/internal/dense"
 	"ascoma/internal/directory"
+	"ascoma/internal/mem"
 	"ascoma/internal/network"
 	"ascoma/internal/obs"
 	"ascoma/internal/params"
@@ -30,6 +31,14 @@ type Config struct {
 	Arch     params.Arch
 	Pressure int           // memory pressure percent, 1..99
 	Params   params.Params // machine parameters (zero value -> params.Default())
+	// Tiers partitions each node's physical memory into asymmetric tiers
+	// (fastest first; see internal/mem). Nil keeps the flat seed model,
+	// whose results are bit-identical to pre-tier builds.
+	Tiers []mem.TierSpec
+	// PagePolicy selects the per-bank row-buffer page policy for tiered
+	// memory. Setting it without Tiers models row buffers on a single
+	// tier at the flat LocalMemCycles latency.
+	PagePolicy mem.Policy
 	// Quantum is the number of cycles one node advances before the run
 	// loop switches to the next node (0 -> 100). Nodes interact through
 	// shared resources whose next-free times advance with the requests
@@ -131,13 +140,14 @@ type node struct {
 
 	arriveTime     int64 // barrier/lock arrival time
 	daemonInterval int64
-	prevThresh     int // last relocation threshold seen by the flight recorder
+	prevThresh     int   // last relocation threshold seen by the flight recorder
+	prevRowConf    int64 // row conflicts at the last epoch boundary (EvRowConflict deltas)
 
 	rac *cache.RAC
 	vmm *vm.VM
 	pol core.Policy
 	bus bus.Bus      // embedded: one transaction per miss, no pointer chase
-	mem sim.Banked   // embedded: one acquire per miss, no pointer chase
+	mem mem.Memory   // embedded: one acquire per miss, no pointer chase
 	dir sim.Resource // directory-controller occupancy at this node
 
 	tlb tlb // software translation cache over vmm's page table
@@ -224,6 +234,14 @@ type Machine struct {
 	fwdCount   int64
 	invCount   int64
 	stageWait  [4]int64 // bus, request net+dir, memory, reply net+bus
+
+	// Tiered-memory state: tiered is hoisted from the effective tier
+	// config so the access path pays one bool test; the promotion and
+	// demotion tallies are host-side debug counters (DebugTierStats) —
+	// never part of stats, which the flat goldens pin.
+	tiered       bool
+	tierPromotes int64
+	tierDemotes  int64
 }
 
 // DebugFetchStats returns the count and mean latency of remote fetches and
@@ -254,6 +272,23 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 		cfg.Quantum = 100
 	}
 
+	// Effective tier configuration: a page policy without explicit tiers
+	// models row buffers on a single tier at the flat latency.
+	tiers := cfg.Tiers
+	if len(tiers) == 0 && cfg.PagePolicy != mem.PolicyNone {
+		tiers = []mem.TierSpec{{
+			CapacityPct: 100,
+			ReadCycles:  cfg.Params.LocalMemCycles,
+			WriteCycles: cfg.Params.LocalMemCycles,
+		}}
+	}
+	if err := mem.ValidateTiers(tiers); err != nil {
+		return nil, err
+	}
+	if cfg.PagePolicy > mem.PolicyHybrid {
+		return nil, fmt.Errorf("machine: unknown page policy %d", cfg.PagePolicy)
+	}
+
 	// Per-node memory sizing: home + private pages occupy Pressure% of
 	// the node's physical memory.
 	resident := gen.HomePagesPerNode() + gen.PrivatePagesPerNode()
@@ -272,10 +307,11 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 		memBanks:   cfg.Params.MemBanks,
 		totalPages: totalPages,
 		homeLimit:  gen.HomePagesPerNode(),
+		tierSig:    mem.SigOf(tiers, cfg.PagePolicy),
 	}
 	m := arenaGet(sh)
 	if m == nil {
-		m = newShaped(sh, &cfg.Params)
+		m = newShaped(sh, &cfg.Params, tiers, cfg.PagePolicy)
 	} else {
 		m.recycle(sh, &cfg.Params)
 	}
@@ -284,6 +320,7 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 	m.quantum = cfg.Quantum
 	m.maxCycles = cfg.MaxCycles
 	m.sampleIntv = cfg.SampleInterval
+	m.tiered = len(tiers) > 0
 	m.p = &m.cfg.Params
 	p := m.p
 
@@ -319,6 +356,7 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 		nd.daemonInterval = p.DaemonInterval
 		nd.prevThresh = nd.pol.Threshold()
 		nd.vmm.SetRecorder(m.rec)
+		nd.vmm.ConfigureTiers(tiers)
 		if err := nd.vmm.ReserveHome(resident); err != nil {
 			return nil, err
 		}
@@ -744,13 +782,13 @@ func (m *Machine) access(nd *node, ref workload.Ref, now int64) int64 {
 	var done int64
 	switch pte.Mode {
 	case vm.ModePrivate:
-		done = m.localAccess(nd, block, now)
+		done = m.localAccess(nd, pte, block, write, now)
 		nd.st.Time[stats.ULcMem] += done - now
 		m.l1Fill(nd, line, write, done)
 		return done
 
 	case vm.ModeHome:
-		done = m.localAccess(nd, block, now)
+		done = m.localAccess(nd, pte, block, write, now)
 		if write {
 			m.invHome, m.invDelay = nd.id, 0
 			if inv := m.dir.HomeWrite(block); inv > 0 {
@@ -765,7 +803,7 @@ func (m *Machine) access(nd *node, ref workload.Ref, now int64) int64 {
 			if owner, fetched := m.dir.HomeRead(block); fetched {
 				// Dirty at a remote owner: retrieve before supplying.
 				t := m.net.Send(nd.id, owner, done)
-				t = m.nodes[owner].mem.Acquire(uint64(block), t, p.LocalMemCycles)
+				t = m.memAcquire(m.nodes[owner], block, t, false)
 				done = m.net.Send(owner, nd.id, t)
 			}
 			if m.checker != nil {
@@ -782,7 +820,7 @@ func (m *Machine) access(nd *node, ref workload.Ref, now int64) int64 {
 		switch {
 		case pte.BlockValid(bi) && (!write || pte.BlockOwned(bi)):
 			// Satisfied from the local page cache.
-			done = m.localAccess(nd, block, now)
+			done = m.localAccess(nd, pte, block, write, now)
 			nd.st.Misses[stats.SComa]++
 			pte.SComaHits++
 			if m.checker != nil {
@@ -790,6 +828,14 @@ func (m *Machine) access(nd *node, ref workload.Ref, now int64) int64 {
 				if write {
 					m.checker.onWrite(nd.id, block)
 				}
+			}
+			if m.tiered && pte.Tier > 0 && pte.SComaHits&(tierPromoteHits-1) == 0 {
+				// A slow-tier page earning steady page-cache hits is hot:
+				// move it up, charging the copy as kernel overhead (the
+				// relocate idiom — the access itself stays UShMem).
+				nd.st.Time[stats.UShMem] += done - now
+				m.l1Fill(nd, line, write, done)
+				return done + m.promote(nd, pte, done)
 			}
 		case pte.BlockValid(bi):
 			// Write to a clean cached block: ownership upgrade.
@@ -889,9 +935,33 @@ func (m *Machine) classify(nd *node, res directory.FetchResult) {
 
 // localAccess models an access satisfied by this node's DRAM (home data,
 // page cache, or private data): bus transaction plus a memory-bank access.
-func (m *Machine) localAccess(nd *node, b addr.Block, now int64) int64 {
+// On tiered memory the bank occupancy comes from the page's tier and the
+// row-buffer policy; the flat path is byte-identical to the seed model.
+//
+//ascoma:hotpath
+func (m *Machine) localAccess(nd *node, pte *vm.PTE, b addr.Block, write bool, now int64) int64 {
 	t := nd.bus.Transaction(now)
-	return nd.mem.Acquire(uint64(b), t, m.p.LocalMemCycles)
+	if !m.tiered {
+		return nd.mem.Acquire(uint64(b), t, m.p.LocalMemCycles)
+	}
+	return nd.mem.AcquireTiered(int(pte.Tier), uint64(b), t, write)
+}
+
+// memAcquire models a DRAM access at an arbitrary node for block b (remote
+// fetch supply, writeback landing, dirty-owner retrieval), resolving the
+// block's tier through the serving node's page table when tiers are
+// configured.
+//
+//ascoma:hotpath
+func (m *Machine) memAcquire(nd *node, b addr.Block, t int64, write bool) int64 {
+	if !m.tiered {
+		return nd.mem.Acquire(uint64(b), t, m.p.LocalMemCycles)
+	}
+	tier := 0
+	if pte := nd.vmm.PageOfBlock(b); pte != nil {
+		tier = int(pte.Tier)
+	}
+	return nd.mem.AcquireTiered(tier, uint64(b), t, write)
 }
 
 // racAccess models a hit in the DSM controller's remote access cache.
@@ -942,11 +1012,11 @@ func (m *Machine) remoteFetch(nd *node, pte *vm.PTE, b addr.Block, write, haveDa
 	if res.Forwarded {
 		o := res.ForwardOwner
 		t = m.net.Send(home, o, t)
-		t = m.nodes[o].mem.Acquire(uint64(b), t, p.LocalMemCycles)
+		t = m.memAcquire(m.nodes[o], b, t, false)
 		t = m.net.Send(o, nd.id, t)
 	} else {
 		t1 := t
-		t = m.nodes[home].mem.Acquire(uint64(b), t, p.LocalMemCycles)
+		t = m.memAcquire(m.nodes[home], b, t, false)
 		m.stageWait[2] += t - t1 - p.LocalMemCycles
 		if m.invDelay > 0 {
 			// Sequential consistency: the write completes only after
@@ -980,7 +1050,7 @@ func (m *Machine) remoteWriteback(nd *node, b addr.Block, now int64) {
 	}
 	t := nd.bus.Transaction(now)
 	t = m.net.Send(nd.id, home, t)
-	m.nodes[home].mem.Acquire(uint64(b), t, m.p.LocalMemCycles)
+	m.memAcquire(m.nodes[home], b, t, true)
 	m.dir.WritebackDirty(nd.id, b)
 	nd.st.Writebacks++
 }
@@ -1008,10 +1078,10 @@ func (m *Machine) l1Fill(nd *node, line addr.Line, write bool, now int64) {
 	}
 	switch pte.Mode {
 	case vm.ModePrivate, vm.ModeHome:
-		m.localAccess(nd, vb, now) // occupy local resources only
+		m.localAccess(nd, pte, vb, true, now) // occupy local resources only
 	case vm.ModeSCOMA:
 		if pte.BlockValid(vb.Index()) {
-			m.localAccess(nd, vb, now) // lands in the page cache
+			m.localAccess(nd, pte, vb, true, now) // lands in the page cache
 		} else {
 			m.remoteWriteback(nd, vb, now)
 		}
@@ -1144,7 +1214,8 @@ func (m *Machine) migrate(nd *node, mig core.Migrator, pte *vm.PTE, now int64) i
 	}
 	m.dir.ResetRefetch(page, nd.id)
 
-	if !nd.vmm.AdoptHomePage() {
+	adoptTier, ok := nd.vmm.AdoptHomePage()
+	if !ok {
 		// No free physical page to hold the migrated copy.
 		nd.st.RelocDenied++
 		if m.rec != nil {
@@ -1163,14 +1234,22 @@ func (m *Machine) migrate(nd *node, mig core.Migrator, pte *vm.PTE, now int64) i
 		m.nodes[oldHome].invGen++
 	}
 	m.nodes[oldHome].rac.FlushPage(page)
-	m.nodes[oldHome].vmm.ReleaseHomePage()
+	var oldTier uint8
+	if opte := m.nodes[oldHome].vmm.Lookup(page); opte != nil {
+		oldTier = opte.Tier
+	}
+	m.nodes[oldHome].vmm.ReleaseHomePage(oldTier)
 
 	// Ship the page: one DSM block at a time, old home to new home
 	// (posted transfers; the kernel cost below covers the stall).
 	t := now
 	for i := 0; i < params.BlocksPerPage; i++ {
 		t = m.net.Send(oldHome, nd.id, t)
-		m.nodes[nd.id].mem.Acquire(uint64(page.BlockAt(i)), t, p.LocalMemCycles)
+		if m.tiered {
+			nd.mem.AcquireTiered(int(adoptTier), uint64(page.BlockAt(i)), t, true)
+		} else {
+			nd.mem.Acquire(uint64(page.BlockAt(i)), t, p.LocalMemCycles)
+		}
 	}
 
 	// Update every node's mapping of the page — the global TLB shootdown
@@ -1185,8 +1264,12 @@ func (m *Machine) migrate(nd *node, mig core.Migrator, pte *vm.PTE, now int64) i
 		switch {
 		case other.id == nd.id:
 			opte.Mode = vm.ModeHome
+			opte.Tier = adoptTier
 		case opte.Mode == vm.ModeHome:
+			// The old home's frame was released above; a NUMA mapping
+			// holds no frame.
 			opte.Mode = vm.ModeNUMA
+			opte.Tier = 0
 		}
 	}
 
@@ -1266,6 +1349,16 @@ func (m *Machine) runDaemon(nd *node, now int64) int64 {
 			if victim == nil {
 				break
 			}
+			if m.tiered {
+				// Tier-down first: a cold page slides toward the slow
+				// tier before dying — it frees fast-tier headroom for
+				// promotions, and only pages cold in the last tier (or
+				// with no slower headroom) are actually evicted.
+				if c, ok := m.demote(nd, victim); ok {
+					cost += c
+					continue
+				}
+			}
 			cost += m.evict(nd, victim)
 			reclaimed++
 		}
@@ -1286,6 +1379,56 @@ func (m *Machine) runDaemon(nd *node, now int64) int64 {
 	nd.st.Time[stats.KOverhead] += cost
 	nd.nextDaemon = now + cost + nd.daemonInterval
 	return cost
+}
+
+// tierPromoteHits is the page-cache hit cadence at which a slow-tier
+// S-COMA page earns a promotion attempt: every tierPromoteHits-th hit
+// (power of two — the access path tests it with one mask).
+const tierPromoteHits = 64
+
+// promote moves a hot S-COMA page one tier up, returning the kernel
+// cycles of the page copy (0 when the faster tier has no headroom).
+//
+//ascoma:hotpath-stop episodic tier management off the per-reference path
+func (m *Machine) promote(nd *node, pte *vm.PTE, now int64) int64 {
+	from := int(pte.Tier)
+	if !nd.vmm.Promote(pte) {
+		return 0
+	}
+	cost := nd.mem.MoveCost(from, from-1)
+	m.tierPromotes++
+	nd.st.Time[stats.KOverhead] += cost
+	if m.rec != nil {
+		m.rec.Clock = now
+		m.rec.Emit(obs.EvTierPromote, nd.id, uint32(pte.Page.MustIndex()), uint32(pte.Tier))
+	}
+	return cost
+}
+
+// demote moves a cold daemon victim one tier down instead of evicting it,
+// returning the copy cost and whether the demotion happened. The clock
+// hand is advanced past the page: it stays enrolled, and a page the
+// daemon just demoted must not be re-victimized in the same sweep.
+//
+//ascoma:hotpath-stop episodic tier management off the per-reference path
+func (m *Machine) demote(nd *node, victim *vm.PTE) (int64, bool) {
+	from := int(victim.Tier)
+	if !nd.vmm.Demote(victim) {
+		return 0, false
+	}
+	nd.vmm.SkipHand()
+	m.tierDemotes++
+	if m.rec != nil {
+		// runDaemon stamped the clock at entry.
+		m.rec.Emit(obs.EvTierDemote, nd.id, uint32(victim.Page.MustIndex()), uint32(victim.Tier))
+	}
+	return nd.mem.MoveCost(from, from+1), true
+}
+
+// DebugTierStats returns the run's tier promotion and demotion counts
+// (host-side observability; zero on flat configurations).
+func (m *Machine) DebugTierStats() (promotes, demotes int64) {
+	return m.tierPromotes, m.tierDemotes
 }
 
 // finalize computes the run-level aggregates. Together with New (which
@@ -1359,8 +1502,23 @@ func (m *Machine) takeEpoch(now int64) {
 		m.ep.Set(obs.ProbeShMemStall, nd.id, nd.st.Time[stats.UShMem])
 		m.ep.Set(obs.ProbeRemoteMisses, nd.id,
 			nd.st.Misses[stats.Home]+nd.st.Misses[stats.Cold]+nd.st.Misses[stats.ConfCapc])
+		m.ep.Set(obs.ProbeFastTierPages, nd.id, int64(nd.vmm.TierPages(0)))
+		m.ep.Set(obs.ProbeRowHits, nd.id, nd.mem.RowHits())
+		m.ep.Set(obs.ProbeRowConflicts, nd.id, nd.mem.RowConflicts())
 	}
 	m.ep.Commit()
+	if m.rec != nil {
+		// Row conflicts are too frequent to record individually; emit the
+		// per-epoch delta instead. Flat runs never conflict, so their
+		// traces are unchanged.
+		m.rec.Clock = now
+		for _, nd := range m.nodes {
+			if c := nd.mem.RowConflicts(); c != nd.prevRowConf {
+				m.rec.Emit(obs.EvRowConflict, nd.id, uint32(c-nd.prevRowConf), uint32(c))
+				nd.prevRowConf = c
+			}
+		}
+	}
 	m.nextEpoch = now + m.epochIntv
 }
 

@@ -1,0 +1,265 @@
+package mem
+
+import (
+	"testing"
+
+	"ascoma/internal/sim"
+)
+
+func twoTiers() []TierSpec {
+	return []TierSpec{
+		{CapacityPct: 30, ReadCycles: 40, WriteCycles: 60},
+		{CapacityPct: 70, ReadCycles: 120, WriteCycles: 300},
+	}
+}
+
+func TestFlatMatchesBanked(t *testing.T) {
+	var m Memory
+	m.Init(4)
+	var b sim.Banked
+	b.Init(4)
+	for i := 0; i < 1000; i++ {
+		key := uint64(i*7 + i%3)
+		at := sim.Time(i * 11)
+		got := m.Acquire(key, at, 50)
+		want := b.Acquire(key, at, 50)
+		if got != want {
+			t.Fatalf("access %d: Memory.Acquire=%d, Banked.Acquire=%d", i, got, want)
+		}
+	}
+	if m.Busy() != b.Busy() {
+		t.Fatalf("Busy: Memory=%d Banked=%d", m.Busy(), b.Busy())
+	}
+	if m.Tiered() {
+		t.Fatal("flat Memory reports Tiered")
+	}
+}
+
+func TestOpenPolicyHitAndConflict(t *testing.T) {
+	var m Memory
+	m.Configure(1, twoTiers(), PolicyOpen)
+
+	// First touch: precharged bank, base latency.
+	t0 := m.AcquireTiered(0, 0, 0, false)
+	if t0 != 40 {
+		t.Fatalf("first touch: done=%d, want 40", t0)
+	}
+	// Same row (blocks 0..7 share row 0): 75%% of base.
+	t1 := m.AcquireTiered(0, 1, t0, false)
+	if t1 != t0+30 {
+		t.Fatalf("row hit: done=%d, want %d", t1, t0+30)
+	}
+	if m.RowHits() != 1 {
+		t.Fatalf("RowHits=%d, want 1", m.RowHits())
+	}
+	// Different row: conflict, 150%% of base.
+	t2 := m.AcquireTiered(0, RowBlocks, t1, false)
+	if t2 != t1+60 {
+		t.Fatalf("row conflict: done=%d, want %d", t2, t1+60)
+	}
+	if m.RowConflicts() != 1 {
+		t.Fatalf("RowConflicts=%d, want 1", m.RowConflicts())
+	}
+	// Slow-tier write pays the write-asymmetric base latency.
+	t3 := m.AcquireTiered(1, 0, 0, true)
+	if t3 != 300 {
+		t.Fatalf("slow write: done=%d, want 300", t3)
+	}
+}
+
+func TestClosedPolicyNeverHits(t *testing.T) {
+	var m Memory
+	m.Configure(1, twoTiers(), PolicyClosed)
+	var at sim.Time
+	for i := 0; i < 16; i++ {
+		done := m.AcquireTiered(0, 0, at, false) // same row every time
+		if done != at+40 {
+			t.Fatalf("access %d: done=%d, want %d (closed policy always pays base)", i, done, at+40)
+		}
+		at = done
+	}
+	if m.RowHits() != 0 || m.RowConflicts() != 0 {
+		t.Fatalf("closed policy counted hits=%d conflicts=%d", m.RowHits(), m.RowConflicts())
+	}
+}
+
+func TestHybridPredictorLearnsReuse(t *testing.T) {
+	var m Memory
+	m.Configure(1, twoTiers(), PolicyHybrid)
+	// Repeated same-row accesses: the predictor saturates and leaves the
+	// row open, so later accesses hit.
+	var at sim.Time
+	for i := 0; i < 8; i++ {
+		at = m.AcquireTiered(0, 0, at, false)
+	}
+	if m.RowHits() == 0 {
+		t.Fatal("hybrid policy never hit under perfect row reuse")
+	}
+	// Alternating rows: after a short transient the predictor decays and
+	// closes the row, so the stream settles into base-latency accesses —
+	// no hits, and no conflicts either (the open policy would conflict on
+	// every access here).
+	for i := 0; i < 8; i++ {
+		at = m.AcquireTiered(0, uint64(i%2)*RowBlocks, at, false)
+	}
+	hits, conflicts := m.RowHits(), m.RowConflicts()
+	for i := 0; i < 32; i++ {
+		at = m.AcquireTiered(0, uint64(i%2)*RowBlocks, at, false)
+	}
+	if m.RowHits() != hits || m.RowConflicts() != conflicts {
+		t.Fatalf("hybrid policy did not settle on an alternating-row stream (hits %d -> %d, conflicts %d -> %d)",
+			hits, m.RowHits(), conflicts, m.RowConflicts())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (sim.Time, int64, int64) {
+		var m Memory
+		m.Configure(4, twoTiers(), PolicyHybrid)
+		var at sim.Time
+		for i := 0; i < 5000; i++ {
+			tier := i % 2
+			key := uint64(i*13+i/7) % 4096
+			at = m.AcquireTiered(tier, key, at, i%3 == 0)
+		}
+		return at, m.RowHits(), m.RowConflicts()
+	}
+	a1, h1, c1 := run()
+	a2, h2, c2 := run()
+	if a1 != a2 || h1 != h2 || c1 != c2 {
+		t.Fatalf("replay diverged: (%d,%d,%d) vs (%d,%d,%d)", a1, h1, c1, a2, h2, c2)
+	}
+}
+
+func TestResetRestoresFreshState(t *testing.T) {
+	var m Memory
+	m.Configure(2, twoTiers(), PolicyOpen)
+	var ref Memory
+	ref.Configure(2, twoTiers(), PolicyOpen)
+
+	for i := 0; i < 100; i++ {
+		m.AcquireTiered(i%2, uint64(i), sim.Time(i), i%2 == 0)
+	}
+	m.Reset()
+	for i := 0; i < 100; i++ {
+		got := m.AcquireTiered(i%2, uint64(i*3), sim.Time(i), false)
+		want := ref.AcquireTiered(i%2, uint64(i*3), sim.Time(i), false)
+		if got != want {
+			t.Fatalf("access %d after Reset: got %d, want %d", i, got, want)
+		}
+	}
+	if m.RowHits() != ref.RowHits() || m.RowConflicts() != ref.RowConflicts() {
+		t.Fatal("row counters diverged after Reset")
+	}
+}
+
+func TestAcquireTieredAllocFree(t *testing.T) {
+	var m Memory
+	m.Configure(4, twoTiers(), PolicyHybrid)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.AcquireTiered(i%2, uint64(i*31), sim.Time(i), i%4 == 0)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("AcquireTiered allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestMoveCost(t *testing.T) {
+	var m Memory
+	m.Configure(4, twoTiers(), PolicyNone)
+	// 32 blocks * (fast read 40 + slow write 300) / 8 = 1360.
+	if got := m.MoveCost(0, 1); got != 1360 {
+		t.Fatalf("MoveCost(0,1)=%d, want 1360", got)
+	}
+	// 32 * (slow read 120 + fast write 60) / 8 = 720.
+	if got := m.MoveCost(1, 0); got != 720 {
+		t.Fatalf("MoveCost(1,0)=%d, want 720", got)
+	}
+}
+
+func TestValidateTiers(t *testing.T) {
+	cases := []struct {
+		name  string
+		tiers []TierSpec
+		ok    bool
+	}{
+		{"nil", nil, true},
+		{"two", twoTiers(), true},
+		{"single", []TierSpec{{100, 50, 50}}, true},
+		{"sum-low", []TierSpec{{30, 40, 60}, {60, 120, 300}}, false},
+		{"sum-high", []TierSpec{{60, 40, 60}, {60, 120, 300}}, false},
+		{"zero-cap", []TierSpec{{0, 40, 60}, {100, 120, 300}}, false},
+		{"neg-read", []TierSpec{{100, -1, 60}}, false},
+		{"zero-write", []TierSpec{{100, 40, 0}}, false},
+		{"too-many", []TierSpec{{20, 1, 1}, {20, 1, 1}, {20, 1, 1}, {20, 1, 1}, {20, 1, 1}}, false},
+	}
+	for _, tc := range cases {
+		err := ValidateTiers(tc.tiers)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: ValidateTiers = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestParseTiersAndPolicy(t *testing.T) {
+	tiers, err := ParseTiers("30:40:60,70:120:300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 2 || tiers[0] != (TierSpec{30, 40, 60}) || tiers[1] != (TierSpec{70, 120, 300}) {
+		t.Fatalf("ParseTiers = %+v", tiers)
+	}
+	if got, err := ParseTiers(""); err != nil || got != nil {
+		t.Fatalf("ParseTiers(\"\") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"30:40", "x:40:60", "30:x:60", "30:40:x", "50:40:60,49:120:300"} {
+		if _, err := ParseTiers(bad); err == nil {
+			t.Errorf("ParseTiers(%q) succeeded, want error", bad)
+		}
+	}
+	for in, want := range map[string]Policy{"": PolicyNone, "none": PolicyNone, "open": PolicyOpen, "closed": PolicyClosed, "hybrid": PolicyHybrid} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("lru"); err == nil {
+		t.Error("ParsePolicy(\"lru\") succeeded, want error")
+	}
+}
+
+func TestSigOf(t *testing.T) {
+	if SigOf(nil, PolicyNone) != "" {
+		t.Fatal("flat signature must be empty")
+	}
+	a := SigOf(twoTiers(), PolicyOpen)
+	b := SigOf(twoTiers(), PolicyOpen)
+	if a != b || a == "" {
+		t.Fatalf("equal configs produced signatures %q and %q", a, b)
+	}
+	if SigOf(twoTiers(), PolicyClosed) == a {
+		t.Fatal("policy change did not change the signature")
+	}
+	other := twoTiers()
+	other[1].WriteCycles++
+	if SigOf(other, PolicyOpen) == a {
+		t.Fatal("latency change did not change the signature")
+	}
+}
+
+func BenchmarkRowBuffer(b *testing.B) {
+	b.ReportAllocs()
+	var m Memory
+	m.Configure(4, []TierSpec{
+		{CapacityPct: 30, ReadCycles: 40, WriteCycles: 60},
+		{CapacityPct: 70, ReadCycles: 120, WriteCycles: 300},
+	}, PolicyHybrid)
+	b.ResetTimer()
+	var at sim.Time
+	for i := 0; i < b.N; i++ {
+		at = m.AcquireTiered(i%2, uint64(i*13)&4095, at, i%4 == 0)
+	}
+	_ = at
+}

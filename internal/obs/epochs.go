@@ -21,19 +21,29 @@ const (
 	// ProbeRemoteMisses is the node's cumulative remotely satisfied misses
 	// (COLD + CONF/CAPC).
 	ProbeRemoteMisses
+	// ProbeFastTierPages is the node's fast-tier (tier 0) page occupancy
+	// when memory tiers are configured (see internal/mem); 0 on flat runs.
+	ProbeFastTierPages
+	// ProbeRowHits is the node's cumulative row-buffer hits.
+	ProbeRowHits
+	// ProbeRowConflicts is the node's cumulative row-buffer conflicts.
+	ProbeRowConflicts
 
 	// NumProbes is the number of defined probe series.
 	NumProbes
 )
 
 var probeNames = [NumProbes]string{
-	ProbeFreePages:    "free_pages",
-	ProbeSComaPages:   "scoma_pages",
-	ProbeThreshold:    "threshold",
-	ProbeUpgrades:     "upgrades",
-	ProbeDowngrades:   "downgrades",
-	ProbeShMemStall:   "shmem_stall_cycles",
-	ProbeRemoteMisses: "remote_misses",
+	ProbeFreePages:     "free_pages",
+	ProbeSComaPages:    "scoma_pages",
+	ProbeThreshold:     "threshold",
+	ProbeUpgrades:      "upgrades",
+	ProbeDowngrades:    "downgrades",
+	ProbeShMemStall:    "shmem_stall_cycles",
+	ProbeRemoteMisses:  "remote_misses",
+	ProbeFastTierPages: "fast_tier_pages",
+	ProbeRowHits:       "row_hits",
+	ProbeRowConflicts:  "row_conflicts",
 }
 
 // String returns the probe's series name.

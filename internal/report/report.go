@@ -58,6 +58,16 @@ type Options struct {
 	// ScreenLog, when non-nil with Screen, is called once per screened
 	// grid with the app name and its simulated/skipped cell counts.
 	ScreenLog func(app string, simulated, skipped int)
+	// Tiers applies a tiered-memory configuration (ascoma.Config.Tiers) to
+	// every simulated cell, so any figure or table can be rendered under
+	// asymmetric memory. Nil keeps the flat model. Tiered cells disable
+	// estimator screening: tier residency varies with pressure even when
+	// the pageout daemon never wakes, so pressure-equivalence certificates
+	// do not transfer.
+	Tiers []ascoma.TierSpec
+	// PagePolicy is the row-buffer page policy for every simulated cell
+	// (ascoma.Config.PagePolicy; "" = none).
+	PagePolicy string
 	// Progress, when non-nil, is invoked after each grid cell completes
 	// with the running count of finished cells and the grid total. Calls
 	// come from the fan-out goroutines (serialized by the grid's result
@@ -172,7 +182,7 @@ func (g *errGroup) wait() error {
 // grid dispatches between the plain and screened grid paths; every
 // figure render goes through here.
 func grid(ctx context.Context, app string, o Options) (map[runKey]*ascoma.Result, error) {
-	if o.Screen {
+	if o.Screen && len(o.Tiers) == 0 && o.PagePolicy == "" {
 		if plan := planScreen(app, o); plan != nil {
 			return runGridScreened(ctx, app, o, plan)
 		}
@@ -209,7 +219,7 @@ func runGrid(ctx context.Context, app string, o Options) (map[runKey]*ascoma.Res
 		g.go_(func() error {
 			res, err := o.Runner.Run(ctx, ascoma.Config{
 				Arch: k.arch, Workload: app, Pressure: k.pressure, Scale: o.Scale,
-				Cores: o.Cores,
+				Cores: o.Cores, Tiers: o.Tiers, PagePolicy: o.PagePolicy,
 			})
 			if err != nil {
 				return fmt.Errorf("%s %v(%d%%): %w", app, k.arch, k.pressure, err)

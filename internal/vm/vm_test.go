@@ -367,13 +367,14 @@ func TestClockScanNeverEvictsReferencedProperty(t *testing.T) {
 
 func TestAdoptAndReleaseHomePage(t *testing.T) {
 	v := newVM(4)
-	if !v.AdoptHomePage() {
+	tier, ok := v.AdoptHomePage()
+	if !ok {
 		t.Fatal("adopt failed with free pages")
 	}
 	if v.Free() != 3 || v.HomePages != 1 {
 		t.Errorf("after adopt: free=%d home=%d", v.Free(), v.HomePages)
 	}
-	v.ReleaseHomePage()
+	v.ReleaseHomePage(tier)
 	if v.Free() != 4 || v.HomePages != 0 {
 		t.Errorf("after release: free=%d home=%d", v.Free(), v.HomePages)
 	}
@@ -381,7 +382,7 @@ func TestAdoptAndReleaseHomePage(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		v.MapSCOMA(tpage(uint64(i+1)), 1)
 	}
-	if v.AdoptHomePage() {
+	if _, ok := v.AdoptHomePage(); ok {
 		t.Error("adopt succeeded with empty pool")
 	}
 }
